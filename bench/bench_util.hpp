@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper. On this
+// reproduction's single shared-memory node, "processes" are the runtime's
+// logical ranks and the interconnect is the CommModel (see DESIGN.md);
+// absolute times differ from the paper's supercomputers, but the series
+// *shapes* (who wins, by what factor, where crossovers happen) are the
+// reproduction targets recorded in EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rts/runtime.hpp"
+
+namespace paratreet::bench {
+
+/// The modeled interconnect used whenever a bench wants communication
+/// volume visible in wall-clock time: 20 us latency + 1 GB/s.
+inline rts::CommModel defaultInterconnect() {
+  rts::CommModel comm;
+  comm.latency_us = 20.0;
+  comm.us_per_byte = 0.001;
+  return comm;
+}
+
+/// Print a labelled horizontal bar scaled to `max_value` (ASCII "figure").
+inline void printBar(const std::string& label, double value, double max_value,
+                     const char* unit) {
+  const int width = 46;
+  int fill = max_value > 0
+                 ? static_cast<int>(value / max_value * width + 0.5)
+                 : 0;
+  if (fill > width) fill = width;
+  std::printf("  %-26s %8.3f %-4s |%s\n", label.c_str(), value, unit,
+              std::string(static_cast<std::size_t>(fill), '#').c_str());
+}
+
+/// Print the standard series header for a figure bench.
+inline void printHeader(const char* figure, const char* description) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace paratreet::bench

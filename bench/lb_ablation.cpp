@@ -1,0 +1,140 @@
+// Load-rebalancing ablation (extension bench for the paper's in-text
+// claim, Section III.A: "At this scale of 1536 cores, ParaTreeT's
+// built-in load re-balancers can reduce this simulation's total runtime
+// by 26%, either by mapping measured load to the space-filling curve and
+// redistributing it in chunks, or by aggregating load and assigning it
+// recursively").
+//
+// A heavily clustered dataset is iterated three ways — no rebalancing,
+// the SFC chunk balancer, and the greedy balancer — and the per-iteration
+// traversal times plus the measured load imbalance are reported.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/gravity/gravity.hpp"
+#include "bench_util.hpp"
+#include "core/forest.hpp"
+#include "core/load_balancer.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+using namespace paratreet;
+
+namespace {
+
+struct Result {
+  double first_iter = 0.0;
+  double later_avg = 0.0;
+  /// Modeled parallel iteration time: max over processes of their summed
+  /// partition loads. On this single-core host every worker shares one
+  /// CPU, so wall time cannot react to placement; this is the time a
+  /// machine with real cores would see.
+  double modeled_before = 0.0;
+  double modeled_after = 0.0;
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
+};
+
+double modeledIterTime(Forest<CentroidData, OctTreeType>& forest, int procs) {
+  std::vector<double> per_proc(static_cast<std::size_t>(procs), 0.0);
+  const auto loads = forest.partitionLoads();
+  for (int i = 0; i < forest.numPartitions(); ++i) {
+    per_proc[static_cast<std::size_t>(forest.partition(i).home_proc)] +=
+        loads[static_cast<std::size_t>(i)];
+  }
+  return *std::max_element(per_proc.begin(), per_proc.end());
+}
+
+Result run(std::size_t n, int procs, int workers, LoadBalancer* lb,
+           int iterations) {
+  rts::Runtime::Config rc{procs, workers, bench::defaultInterconnect()};
+  rts::Runtime rt(rc);
+  Configuration conf;
+  conf.tree_type = TreeType::eOct;
+  // Octree decomposition of a clustered volume: the count-imbalanced
+  // case the rebalancers exist for.
+  conf.decomp_type = DecompType::eOct;
+  conf.min_partitions = 6 * procs * workers;
+  conf.min_subtrees = 2 * procs;
+  conf.bucket_size = 16;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  forest.load(makeParticles(clustered(n, 77, 2, 0.004)));
+  forest.decompose();
+
+  Result r;
+  RunningStats later;
+  for (int it = 0; it < iterations; ++it) {
+    forest.build();
+    WallTimer timer;
+    forest.traverse<GravityVisitor>(GravityVisitor{});
+    const double t = timer.seconds();
+    if (it == 0) {
+      r.first_iter = t;
+      r.imbalance_before = forest.measuredImbalance();
+      r.modeled_before = modeledIterTime(forest, procs);
+      if (lb != nullptr) {
+        forest.rebalance(*lb);
+      }
+    } else {
+      later.add(t);
+      r.imbalance_after = forest.measuredImbalance();
+      r.modeled_after = modeledIterTime(forest, procs);
+    }
+    forest.flush();
+  }
+  r.later_avg = later.mean();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int procs = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int workers = argc > 4 ? std::atoi(argv[4]) : 2;
+
+  bench::printHeader("LB ablation",
+                     "measured-load rebalancing on a clustered volume");
+  std::printf("dataset: %zu particles in 2 tight clusters, %d iterations, "
+              "%d procs x %d workers (rebalance after iteration 0)\n\n",
+              n, iterations, procs, workers);
+
+  GreedyLoadBalancer greedy;
+  SfcLoadBalancer sfc;
+  struct Series {
+    const char* label;
+    LoadBalancer* lb;
+  };
+  const Series series[] = {
+      {"no rebalancing", nullptr},
+      {"SFC chunks (paper's scheme)", &sfc},
+      {"greedy", &greedy},
+  };
+
+  std::printf("%-30s %14s %14s %12s %12s\n", "balancer", "modeled t0 (s)",
+              "modeled t1 (s)", "imb before", "imb after");
+  double baseline = 0.0;
+  for (const auto& s : series) {
+    const auto r = run(n, procs, workers, s.lb, iterations);
+    if (s.lb == nullptr) baseline = r.modeled_after;
+    std::printf("%-30s %14.4f %14.4f %12.2f %12.2f", s.label,
+                r.modeled_before, r.modeled_after, r.imbalance_before,
+                r.imbalance_after);
+    if (s.lb != nullptr && baseline > 0.0) {
+      std::printf("   (%+.1f%% vs none)",
+                  100.0 * (r.modeled_after - baseline) / baseline);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(modeled t = max per-process busy time; wall time on this "
+              "single-core host cannot react to placement)\n");
+
+  std::printf("\nExpected shape (paper): rebalancing from measured load "
+              "cuts the post-rebalance iteration time\n(the paper reports "
+              "26%% at 1536 cores); the imbalance metric drops toward "
+              "1.0.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table I: relevant characteristics of the machines used.
+//
+// The paper's table lists the three supercomputers its experiments ran
+// on. This reproduction runs on one node; we print the paper's table
+// verbatim next to the characteristics of the host, which is the
+// "machine" every other bench uses (with the CommModel standing in for
+// the interconnect).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+
+namespace {
+
+std::string cpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      return colon == std::string::npos ? line : line.substr(colon + 2);
+    }
+  }
+  return "unknown";
+}
+
+double memTotalGb() {
+  std::ifstream meminfo("/proc/meminfo");
+  std::string key, unit;
+  long kb = 0;
+  while (meminfo >> key >> kb >> unit) {
+    if (key == "MemTotal:") return static_cast<double>(kb) / (1024.0 * 1024.0);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  paratreet::bench::printHeader(
+      "Table I", "relevant characteristics of supercomputers used");
+
+  std::printf("\nPaper (evaluation testbeds):\n");
+  std::printf("  %-10s %-8s %-10s %-10s %-12s\n", "Name", "Cores/N", "CPU Type",
+              "Clock", "Comm. Layer");
+  std::printf("  %-10s %-8s %-10s %-10s %-12s\n", "Summit", "42", "POWER9",
+              "3.1 GHz", "UCX");
+  std::printf("  %-10s %-8s %-10s %-10s %-12s\n", "Stampede2", "48", "Skylake",
+              "2.1 GHz", "MPI");
+  std::printf("  %-10s %-8s %-10s %-10s %-12s\n", "Bridges2", "128",
+              "EPYC 7742", "2.25 GHz", "Infiniband");
+
+  std::printf("\nThis reproduction (single node; logical processes over a "
+              "modeled interconnect):\n");
+  const auto comm = paratreet::bench::defaultInterconnect();
+  std::printf("  %-10s %-8u %-28s comm model: %.0f us + %.3f us/B\n", "host",
+              std::thread::hardware_concurrency(), cpuModel().c_str(),
+              comm.latency_us, comm.us_per_byte);
+  std::printf("  memory: %.1f GB\n", memTotalGb());
+  return 0;
+}

@@ -1,0 +1,284 @@
+// Table II: ParaTreeT vs ChaNGa data-cache utilization for a gravity
+// traversal (paper: 100k particles, perf counters on a Stampede2 SKX
+// node). Hardware counters are not portable, so this bench feeds the
+// *exact memory-reference streams* of the two traversal orders through
+// the software cache hierarchy in src/cachesim (SKX geometry: 32KB L1D /
+// 1MB L2 / 33MB shared L3):
+//
+//   ParaTreeT — loop-transposed order: each tree node is processed
+//               against the whole frontier of target buckets;
+//   ChaNGa    — per-bucket DFS with a hash-table node lookup per visit.
+//
+// Reported per CPU count: modeled runtime (max per-CPU cycles at the SKX
+// 2.1 GHz clock), L1D load/store accesses, and load/store miss rates per
+// level — the same columns as the paper's table. Expected shape: ChaNGa
+// makes more accesses with lower miss rates; ParaTreeT touches less and
+// runs faster despite higher miss rates.
+//
+// Extra rows: bucket-size ablation (DESIGN.md section 5).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/gravity/gravity.hpp"
+#include "bench_util.hpp"
+#include "cachesim/cachesim.hpp"
+#include "core/forest.hpp"
+#include "tree/builder.hpp"
+#include "tree/validate.hpp"
+#include "util/distributions.hpp"
+
+using namespace paratreet;
+using cachesim::SmpHierarchy;
+
+namespace {
+
+struct BucketRef {
+  Node<CentroidData>* leaf;
+};
+
+/// Word-granular (8-byte) loads/stores, matching what hardware counters
+/// count: each scalar access is one L1D access, several per cache line.
+void loadWords(SmpHierarchy& mem, int cpu, const void* base, int words) {
+  const auto* p = static_cast<const double*>(base);
+  for (int w = 0; w < words; ++w) mem.load(cpu, p + w, sizeof(double));
+}
+void storeWords(SmpHierarchy& mem, int cpu, const void* base, int words) {
+  const auto* p = static_cast<const double*>(base);
+  for (int w = 0; w < words; ++w) mem.store(cpu, p + w, sizeof(double));
+}
+
+/// Memory accesses one (node, bucket) interaction performs, mirrored into
+/// the simulator at the granularity of the force kernels' scalar
+/// loads/stores. `approximate` = node() (multipole per target particle),
+/// otherwise leaf() (pairwise over source particles).
+void touchInteraction(SmpHierarchy& mem, int cpu, Node<CentroidData>* node,
+                      Node<CentroidData>* bucket, bool approximate) {
+  if (approximate) {
+    for (int i = 0; i < bucket->n_particles; ++i) {
+      Particle& p = bucket->particles[i];
+      loadWords(mem, cpu, &p.position, 3);          // target position
+      loadWords(mem, cpu, &node->data, 4);          // mass + moment
+      loadWords(mem, cpu, &p.acceleration, 4);      // accel + potential
+      storeWords(mem, cpu, &p.acceleration, 4);     // read-modify-write
+    }
+  } else {
+    for (int i = 0; i < bucket->n_particles; ++i) {
+      Particle& p = bucket->particles[i];
+      loadWords(mem, cpu, &p.position, 3);
+      for (int j = 0; j < node->n_particles; ++j) {
+        // source position (3) + mass (1) per pair, as gravExact reads.
+        loadWords(mem, cpu, &node->particles[j].position, 3);
+        loadWords(mem, cpu, &node->particles[j].mass, 1);
+      }
+      loadWords(mem, cpu, &p.acceleration, 4);
+      storeWords(mem, cpu, &p.acceleration, 4);
+    }
+  }
+}
+
+bool opens(const GravityVisitor& v, Node<CentroidData>* node,
+           Node<CentroidData>* bucket) {
+  auto src = SpatialNode<CentroidData>::of(*node);
+  SpatialNode<CentroidData> tgt(bucket->data, bucket->box, bucket->key,
+                                bucket->n_particles, bucket->particles);
+  return v.open(src, tgt);
+}
+
+/// ParaTreeT's transposed order: walk the tree once per CPU, carrying the
+/// CPU's whole bucket frontier.
+void replayTransposed(SmpHierarchy& mem, int cpu, const GravityVisitor& v,
+                      Node<CentroidData>* node,
+                      const std::vector<Node<CentroidData>*>& targets) {
+  if (node->type == NodeType::kEmptyLeaf) return;
+  // Transposed order: the node's summary is loaded once and stays in
+  // registers/L1 while the whole target frontier is tested against it.
+  loadWords(mem, cpu, &node->data, 4);
+  loadWords(mem, cpu, &node->box, 6);
+  std::vector<Node<CentroidData>*> keep;
+  keep.reserve(targets.size());
+  for (auto* b : targets) {
+    loadWords(mem, cpu, &b->box, 6);  // opening test reads the target box
+    if (opens(v, node, b)) keep.push_back(b);
+    else touchInteraction(mem, cpu, node, b, /*approximate=*/true);
+  }
+  if (keep.empty()) return;
+  if (node->leaf()) {
+    for (auto* b : keep) touchInteraction(mem, cpu, node, b, false);
+    return;
+  }
+  for (int c = 0; c < node->n_children; ++c) {
+    replayTransposed(mem, cpu, v, node->child(c), keep);
+  }
+}
+
+/// ChaNGa's order: one full DFS per bucket, resolving every node through
+/// the process-wide hash table.
+void replayPerBucket(SmpHierarchy& mem, int cpu, const GravityVisitor& v,
+                     Node<CentroidData>* node, Node<CentroidData>* bucket,
+                     std::unordered_map<Key, Node<CentroidData>*>& table) {
+  if (node->type == NodeType::kEmptyLeaf) return;
+  // Per-bucket order: every bucket's walk re-resolves the node through
+  // the hash table and re-reads its summary.
+  auto it = table.find(node->key);
+  loadWords(mem, cpu, &it->first, 2);  // table entry: key + pointer
+  loadWords(mem, cpu, &node->data, 4);
+  loadWords(mem, cpu, &node->box, 6);
+  loadWords(mem, cpu, &bucket->box, 6);
+  if (!opens(v, node, bucket)) {
+    touchInteraction(mem, cpu, node, bucket, true);
+    return;
+  }
+  if (node->leaf()) {
+    touchInteraction(mem, cpu, node, bucket, false);
+    return;
+  }
+  for (int c = 0; c < node->n_children; ++c) {
+    replayPerBucket(mem, cpu, v, node->child(c), bucket, table);
+  }
+}
+
+struct Row {
+  double runtime_s;
+  double l1_loads_m, l1_stores_m;  // millions
+  double l1_lmiss, l2_lmiss, l3_lmiss;
+  double store_l1l2_miss, store_l3_miss;
+};
+
+Row summarize(const SmpHierarchy& mem, double clock_ghz) {
+  const auto l1 = mem.l1Stats();
+  const auto l2 = mem.l2Stats();
+  const auto l3 = mem.l3Stats();
+  Row r;
+  r.runtime_s = mem.maxCpuCycles() / (clock_ghz * 1e9);
+  r.l1_loads_m = static_cast<double>(l1.load_accesses) / 1e6;
+  r.l1_stores_m = static_cast<double>(l1.store_accesses) / 1e6;
+  r.l1_lmiss = 100.0 * l1.loadMissRate();
+  r.l2_lmiss = 100.0 * l2.loadMissRate();
+  r.l3_lmiss = 100.0 * l3.loadMissRate();
+  r.store_l1l2_miss = 100.0 * mem.storeL1L2MissRate();
+  r.store_l3_miss = 100.0 * l3.storeMissRate();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
+  const int bucket_size = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  bench::printHeader("Table II",
+                     "cache utilization, ParaTreeT vs ChaNGa traversal order");
+  std::printf("dataset: %zu uniform particles (paper used 100k), bucket %d, "
+              "simulated SKX hierarchy (32KB/1MB/33MB)\n\n",
+              n, bucket_size);
+
+  // One shared-memory tree (single process, as in the paper's experiment).
+  const OrientedBox universe{Vec3(0), Vec3(1)};
+  auto particles = makeParticles(uniformCube(n, 99));
+  assignKeys(particles, universe);
+  NodeArena<CentroidData> arena;
+  BuildOptions opts;
+  opts.bucket_size = bucket_size;
+  Node<CentroidData>* root = buildTree<CentroidData>(
+      OctTreeType{}, arena, std::span<Particle>(particles), universe, opts);
+
+  std::vector<Node<CentroidData>*> buckets;
+  forEachLeaf(root, [&](Node<CentroidData>* leaf) {
+    if (leaf->type == NodeType::kLeaf) buckets.push_back(leaf);
+  });
+  std::unordered_map<Key, Node<CentroidData>*> table;
+  std::function<void(Node<CentroidData>*)> index = [&](Node<CentroidData>* nd) {
+    table[nd->key] = nd;
+    if (!nd->leaf()) {
+      for (int c = 0; c < nd->n_children; ++c) index(nd->child(c));
+    }
+  };
+  index(root);
+
+  GravityVisitor visitor;
+  visitor.params.use_quadrupole = false;
+
+  std::printf("(ParaTreeT / ChaNGa)%12s %12s %12s | %7s %7s %7s | %9s %7s\n",
+              "runtime(s)", "L1D load(M)", "L1D stor(M)", "L1D%", "L2%",
+              "L3%", "st(L1&2)%", "stL3%");
+  // ParaTreeT's traversal granularity is the Partition: a spatially
+  // contiguous group of buckets whose working set fits in L2 (paper
+  // Section III.A). The transposed walk runs once per partition.
+  const std::size_t buckets_per_partition = 12;
+  for (int cpus : {1, 2, 4, 8, 16}) {
+    // Partition buckets into contiguous spatial chunks per CPU.
+    SmpHierarchy pt(cpus);
+    for (int cpu = 0; cpu < cpus; ++cpu) {
+      const std::size_t begin = buckets.size() * static_cast<std::size_t>(cpu) /
+                                static_cast<std::size_t>(cpus);
+      const std::size_t end = buckets.size() *
+                              (static_cast<std::size_t>(cpu) + 1) /
+                              static_cast<std::size_t>(cpus);
+      for (std::size_t g = begin; g < end; g += buckets_per_partition) {
+        std::vector<Node<CentroidData>*> group(
+            buckets.begin() + static_cast<std::ptrdiff_t>(g),
+            buckets.begin() +
+                static_cast<std::ptrdiff_t>(std::min(g + buckets_per_partition, end)));
+        replayTransposed(pt, cpu, visitor, root, group);
+      }
+    }
+    SmpHierarchy ch(cpus);
+    for (int cpu = 0; cpu < cpus; ++cpu) {
+      const std::size_t begin = buckets.size() * static_cast<std::size_t>(cpu) /
+                                static_cast<std::size_t>(cpus);
+      const std::size_t end = buckets.size() *
+                              (static_cast<std::size_t>(cpu) + 1) /
+                              static_cast<std::size_t>(cpus);
+      for (std::size_t b = begin; b < end; ++b) {
+        replayPerBucket(ch, cpu, visitor, root, buckets[b], table);
+      }
+    }
+    const Row a = summarize(pt, 2.1);
+    const Row b = summarize(ch, 2.1);
+    std::printf("CPU %-2d  %5.2f/%-5.2f %6.0f/%-6.0f %5.1f/%-5.1f | "
+                "%3.1f/%-3.1f %3.1f/%-3.1f %4.1f/%-4.1f | %5.2f/%-5.2f "
+                "%4.1f/%-4.1f\n",
+                cpus, a.runtime_s, b.runtime_s, a.l1_loads_m, b.l1_loads_m,
+                a.l1_stores_m, b.l1_stores_m, a.l1_lmiss, b.l1_lmiss,
+                a.l2_lmiss, b.l2_lmiss, a.l3_lmiss, b.l3_lmiss,
+                a.store_l1l2_miss, b.store_l1l2_miss, a.store_l3_miss,
+                b.store_l3_miss);
+  }
+
+  std::printf("\nbucket-size ablation (1 CPU, transposed order):\n");
+  std::printf("%-12s %12s %14s %10s\n", "bucket", "runtime (s)",
+              "L1D loads (M)", "L1D miss%");
+  for (int bs : {8, 16, 32, 64}) {
+    auto copy = makeParticles(uniformCube(n, 99));
+    assignKeys(copy, universe);
+    NodeArena<CentroidData> arena2;
+    BuildOptions o2;
+    o2.bucket_size = bs;
+    Node<CentroidData>* r2 = buildTree<CentroidData>(
+        OctTreeType{}, arena2, std::span<Particle>(copy), universe, o2);
+    std::vector<Node<CentroidData>*> b2;
+    forEachLeaf(r2, [&](Node<CentroidData>* leaf) {
+      if (leaf->type == NodeType::kLeaf) b2.push_back(leaf);
+    });
+    SmpHierarchy mem(1);
+    for (std::size_t g = 0; g < b2.size(); g += buckets_per_partition) {
+      std::vector<Node<CentroidData>*> group(
+          b2.begin() + static_cast<std::ptrdiff_t>(g),
+          b2.begin() + static_cast<std::ptrdiff_t>(
+                           std::min(g + buckets_per_partition, b2.size())));
+      replayTransposed(mem, 0, visitor, r2, group);
+    }
+    const Row row = summarize(mem, 2.1);
+    std::printf("%-12d %12.2f %14.0f %10.1f\n", bs, row.runtime_s,
+                row.l1_loads_m, row.l1_lmiss);
+  }
+
+  std::printf("\nExpected shape (paper): ChaNGa does ~1.7x the L1D accesses "
+              "of ParaTreeT with lower miss rates;\nParaTreeT's runtime is "
+              "lower at every CPU count and both scale with CPUs.\n");
+  return 0;
+}

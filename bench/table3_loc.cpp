@@ -1,0 +1,92 @@
+// Table III: line counts of user code in the ParaTreeT gravity
+// application — the paper's productivity metric (135 lines of user code
+// vs ~4500 application-specific lines in ChaNGa).
+//
+// This bench counts the actual files of this repository: the user-facing
+// gravity application code (Data + Visitor + driver example) against the
+// mini-ChaNGa baseline, which — like the original — must implement its
+// own tree build, merge, cache and traversal to do the same physics.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+/// Count non-blank lines of a source file (the paper counts total lines;
+/// non-blank is the stricter, reproducible variant).
+int countLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") != std::string::npos) ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Locate the source tree: from the binary's conventional build layout,
+  // or from an explicit argument.
+  std::string root = argc > 1 ? argv[1] : "";
+  if (root.empty()) {
+    for (const char* candidate : {".", "..", "../..", "../../.."}) {
+      if (std::ifstream(std::string(candidate) + "/src/apps/gravity/gravity.hpp")) {
+        root = candidate;
+        break;
+      }
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr, "usage: table3_loc <repo-root>\n");
+    return 1;
+  }
+
+  paratreet::bench::printHeader(
+      "Table III", "line counts of user code in the gravity application");
+
+  struct Entry {
+    const char* file;
+    const char* use;
+  };
+  const std::vector<Entry> user_code = {
+      {"src/apps/gravity/centroid_data.hpp", "Define optimized Data functions"},
+      {"src/apps/gravity/gravity.hpp", "Define Visitor + force kernels"},
+      {"examples/gravity_sim.cpp", "Specify config, define traversal"},
+  };
+
+  std::printf("\nParaTreeT gravity application (user code):\n");
+  std::printf("  %-40s %10s   %s\n", "Filename", "Lines", "Use");
+  int total = 0;
+  for (const auto& e : user_code) {
+    const int lines = countLines(root + "/" + e.file);
+    std::printf("  %-40s %10d   %s\n", e.file, lines, e.use);
+    if (lines > 0) total += lines;
+  }
+  std::printf("  %-40s %10d\n", "TOTAL", total);
+
+  // The comparison point: everything the baseline had to implement itself
+  // to deliver the same gravity results without the framework.
+  const std::vector<const char*> changa_files = {
+      "src/baselines/changa/changa.hpp",
+  };
+  int changa_total = 0;
+  for (const auto* f : changa_files) {
+    const int lines = countLines(root + "/" + std::string(f));
+    if (lines > 0) changa_total += lines;
+  }
+  std::printf("\nmini-ChaNGa baseline (tree build + merge + cache + traversal "
+              "it must own): %d lines\n",
+              changa_total);
+  std::printf("(The original paper reports 135 user lines for ParaTreeT vs "
+              "~4500 application-specific lines in ChaNGa.)\n");
+  std::printf("\nratio: %.1fx less user code with the framework\n",
+              static_cast<double>(changa_total) / total);
+  return 0;
+}

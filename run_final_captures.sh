@@ -1,0 +1,14 @@
+#!/bin/bash
+# Final artifact capture: full test log + every bench output.
+set -u
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -4
+: > /root/repo/bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "================================================================" >> /root/repo/bench_output.txt
+  echo "### $b" >> /root/repo/bench_output.txt
+  timeout 1200 "$b" >> /root/repo/bench_output.txt 2>&1
+  echo "(exit $?)" >> /root/repo/bench_output.txt
+done
+echo "CAPTURES COMPLETE"

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/gravity/centroid_data.hpp"
+#include "tree/node.hpp"
+
+namespace paratreet {
+
+/// A detected collision between two solid bodies within one step.
+struct CollisionEvent {
+  std::int32_t a{-1}, b{-1};  ///< particle orders, a < b
+  double time{0.0};           ///< time within the step
+  Vec3 position{};            ///< impact midpoint
+};
+
+/// Continuous (swept-sphere) collision detection Visitor for solid
+/// bodies (the Section IV planetesimal case study): over the step [0, dt]
+/// each pair moves ballistically, and the earliest contact per particle is
+/// recorded on the particle (collision_partner / collision_time).
+///
+/// Pruning uses CentroidData's max_ball and max_speed: a node can be
+/// skipped when even the closest approach of the two swept regions cannot
+/// touch.
+struct CollisionVisitor {
+  double dt{1e-3};
+
+  bool open(const SpatialNode<CentroidData>& source,
+            SpatialNode<CentroidData>& target) const {
+    const double reach = source.data.max_ball + target.data.max_ball +
+                         (source.data.max_speed + target.data.max_speed) * dt;
+    return Space::distanceSquared(source.box, target.box) <= reach * reach;
+  }
+
+  void node(const SpatialNode<CentroidData>&,
+            SpatialNode<CentroidData>&) const {}
+
+  void leaf(const SpatialNode<CentroidData>& source,
+            SpatialNode<CentroidData>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      Particle& p = target.particle(i);
+      for (int j = 0; j < source.n_particles; ++j) {
+        const Particle& q = source.particle(j);
+        if (q.order == p.order) continue;
+        double t_hit;
+        if (sweptContact(p, q, dt, t_hit)) {
+          if (p.collision_partner < 0 || t_hit < p.collision_time) {
+            p.collision_partner = q.order;
+            p.collision_time = t_hit;
+          }
+        }
+      }
+    }
+  }
+
+  /// First time in [0, dt] at which the two moving spheres touch; false
+  /// if they never do. Standard swept-sphere test: solve
+  /// |dx + dv t| = r_a + r_b for the smallest valid root.
+  static bool sweptContact(const Particle& a, const Particle& b, double dt,
+                           double& t_hit) {
+    const Vec3 dx = b.position - a.position;
+    const Vec3 dv = b.velocity - a.velocity;
+    const double r = a.ball_radius + b.ball_radius;
+    const double c = dx.lengthSquared() - r * r;
+    if (c <= 0.0) {  // already overlapping
+      t_hit = 0.0;
+      return true;
+    }
+    const double a2 = dv.lengthSquared();
+    if (a2 == 0.0) return false;
+    const double bq = dx.dot(dv);
+    if (bq >= 0.0) return false;  // separating
+    const double disc = bq * bq - a2 * c;
+    if (disc < 0.0) return false;
+    const double t = (-bq - std::sqrt(disc)) / a2;
+    if (t < 0.0 || t > dt) return false;
+    t_hit = t;
+    return true;
+  }
+};
+
+/// Reconcile per-particle collision records into a deduplicated event
+/// list: an event is kept when both bodies agree the other is their
+/// earliest partner (mutual-nearest matching, as in solid-body codes).
+/// `particles` must be in `order` layout (Forest::collect()).
+inline std::vector<CollisionEvent> matchCollisions(
+    const std::vector<Particle>& particles) {
+  std::vector<CollisionEvent> events;
+  for (const auto& p : particles) {
+    if (p.collision_partner < 0) continue;
+    const auto& q = particles[static_cast<std::size_t>(p.collision_partner)];
+    if (q.collision_partner != p.order) continue;
+    if (p.order < q.order) {
+      events.push_back({p.order, q.order, p.collision_time,
+                        (p.position + q.position) * 0.5});
+    }
+  }
+  return events;
+}
+
+}  // namespace paratreet

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cmath>
+
+#include "tree/particle.hpp"
+#include "util/vector3.hpp"
+
+namespace paratreet {
+
+/// Symmetric 3x3 second-moment tensor (upper triangle stored).
+struct SymTensor3 {
+  double xx{0}, xy{0}, xz{0}, yy{0}, yz{0}, zz{0};
+
+  SymTensor3& operator+=(const SymTensor3& o) {
+    xx += o.xx; xy += o.xy; xz += o.xz;
+    yy += o.yy; yz += o.yz; zz += o.zz;
+    return *this;
+  }
+
+  /// Accumulate the outer product w * v vᵀ.
+  void addOuter(const Vec3& v, double w) {
+    xx += w * v.x * v.x; xy += w * v.x * v.y; xz += w * v.x * v.z;
+    yy += w * v.y * v.y; yz += w * v.y * v.z; zz += w * v.z * v.z;
+  }
+
+  double trace() const { return xx + yy + zz; }
+
+  /// Matrix-vector product.
+  Vec3 mul(const Vec3& v) const {
+    return {xx * v.x + xy * v.y + xz * v.z,
+            xy * v.x + yy * v.y + yz * v.z,
+            xz * v.x + yz * v.y + zz * v.z};
+  }
+};
+
+/// The gravity application's Data (paper Fig 6, extended): mass moments
+/// of the subtree about a fixed origin, so that `operator+=` is a plain
+/// sum and the accumulation order never matters. The centroid and the
+/// traceless quadrupole about it are derived on demand.
+///
+/// `max_ball` additionally tracks the largest solid-body radius in the
+/// subtree, which the collision application's pruning uses; it costs one
+/// max() per merge and lets the planet-formation case study reuse this
+/// Data unchanged.
+struct CentroidData {
+  double sum_mass{0.0};
+  Vec3 moment{};         ///< Σ m x
+  SymTensor3 second{};   ///< Σ m x xᵀ (about the origin)
+  double max_ball{0.0};  ///< max particle ball_radius in the subtree
+  double max_speed{0.0}; ///< max particle |v| in the subtree (collision pruning)
+
+  CentroidData() = default;
+
+  /// Leaf constructor: fold the bucket's particles.
+  CentroidData(const Particle* particles, int n_particles) {
+    for (int i = 0; i < n_particles; ++i) {
+      const Particle& p = particles[i];
+      sum_mass += p.mass;
+      moment += p.mass * p.position;
+      second.addOuter(p.position, p.mass);
+      if (p.ball_radius > max_ball) max_ball = p.ball_radius;
+      const double v2 = p.velocity.lengthSquared();
+      if (v2 > max_speed * max_speed) max_speed = std::sqrt(v2);
+    }
+  }
+
+  /// Parent accumulation (leaves -> root).
+  CentroidData& operator+=(const CentroidData& child) {
+    sum_mass += child.sum_mass;
+    moment += child.moment;
+    second += child.second;
+    if (child.max_ball > max_ball) max_ball = child.max_ball;
+    if (child.max_speed > max_speed) max_speed = child.max_speed;
+    return *this;
+  }
+
+  /// Center of mass of the subtree.
+  Vec3 centroid() const {
+    return sum_mass > 0.0 ? moment / sum_mass : Vec3{};
+  }
+
+  /// Traceless quadrupole tensor about the centroid:
+  /// Q_ij = Σ m (3 dx_i dx_j - δ_ij |dx|²) with dx = x - centroid.
+  SymTensor3 quadrupole() const {
+    const Vec3 c = centroid();
+    // Central second moment: S_c = S_origin - M c cᵀ.
+    SymTensor3 sc = second;
+    sc.addOuter(c, -sum_mass);
+    const double tr = sc.trace();
+    SymTensor3 q;
+    q.xx = 3.0 * sc.xx - tr;
+    q.xy = 3.0 * sc.xy;
+    q.xz = 3.0 * sc.xz;
+    q.yy = 3.0 * sc.yy - tr;
+    q.yz = 3.0 * sc.yz;
+    q.zz = 3.0 * sc.zz - tr;
+    return q;
+  }
+};
+
+}  // namespace paratreet

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "apps/gravity/centroid_data.hpp"
+#include "tree/node.hpp"
+
+namespace paratreet {
+
+/// Numerical parameters of the gravity solver.
+struct GravityParams {
+  double theta = 0.7;       ///< Barnes-Hut opening angle
+  double softening = 1e-4;  ///< Plummer softening length
+  double G = 1.0;           ///< Newton's constant in simulation units
+  /// Include the quadrupole term of the multipole expansion.
+  bool use_quadrupole = true;
+};
+
+/// Acceleration and potential on a point at `pos` from the multipole
+/// expansion of `data` (the paper's gravApprox helper).
+inline void gravApprox(const CentroidData& data, const Vec3& pos,
+                       const GravityParams& params, Vec3& accel,
+                       double& potential) {
+  const Vec3 dr = pos - data.centroid();
+  const double r2 = dr.lengthSquared() + params.softening * params.softening;
+  const double r = std::sqrt(r2);
+  const double inv_r3 = 1.0 / (r2 * r);
+  accel += (-params.G * data.sum_mass * inv_r3) * dr;
+  potential += -params.G * data.sum_mass / r;
+  if (params.use_quadrupole) {
+    // Traceless quadrupole: phi_Q = -G q_rr / (2 r^5),
+    // a_Q = G [ Q dr / r^5 - (5/2) q_rr dr / r^7 ].
+    const SymTensor3 q = data.quadrupole();
+    const Vec3 qd = q.mul(dr);
+    const double qrr = dr.dot(qd);
+    const double inv_r5 = inv_r3 / r2;
+    const double inv_r7 = inv_r5 / r2;
+    accel += params.G * (qd * inv_r5 - (2.5 * qrr * inv_r7) * dr);
+    potential += -params.G * 0.5 * qrr * inv_r5;
+  }
+}
+
+/// Pairwise Newtonian force on `pos` from one source particle (the
+/// paper's gravExact helper). Skips self-interaction (r = 0).
+inline void gravExact(const Particle& source, const Vec3& pos,
+                      const GravityParams& params, Vec3& accel,
+                      double& potential) {
+  const Vec3 dr = pos - source.position;
+  const double dr2 = dr.lengthSquared();
+  if (dr2 == 0.0) return;
+  const double r2 = dr2 + params.softening * params.softening;
+  const double r = std::sqrt(r2);
+  accel += (-params.G * source.mass / (r2 * r)) * dr;
+  potential += -params.G * source.mass / r;
+}
+
+/// The Barnes-Hut gravity Visitor (paper Fig 7). A node is opened when
+/// the target bucket's box intersects the node's opening sphere — the
+/// sphere about the node centroid whose radius is b_max / theta, with
+/// b_max the farthest corner distance of the node box from the centroid.
+struct GravityVisitor {
+  GravityParams params{};
+
+  bool open(const SpatialNode<CentroidData>& source,
+            SpatialNode<CentroidData>& target) const {
+    if (source.data.sum_mass <= 0.0) return false;
+    const Vec3 c = source.data.centroid();
+    const double b2 = source.box.farthestDistanceSquared(c);
+    const double d2 = target.box.distanceSquared(c);
+    // Equivalent to Space::intersect(target.box, Sphere{c, bmax/theta}).
+    return d2 * params.theta * params.theta < b2;
+  }
+
+  void node(const SpatialNode<CentroidData>& source,
+            SpatialNode<CentroidData>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      Vec3 accel{};
+      double phi = 0.0;
+      gravApprox(source.data, target.particle(i).position, params, accel, phi);
+      target.applyAcceleration(i, accel);
+      target.applyPotential(i, phi);
+    }
+  }
+
+  void leaf(const SpatialNode<CentroidData>& source,
+            SpatialNode<CentroidData>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      Vec3 accel{};
+      double phi = 0.0;
+      const Vec3 pos = target.particle(i).position;
+      for (int j = 0; j < source.n_particles; ++j) {
+        gravExact(source.particle(j), pos, params, accel, phi);
+      }
+      target.applyAcceleration(i, accel);
+      target.applyPotential(i, phi);
+    }
+  }
+};
+
+/// O(N²) direct summation over a particle set: the accuracy reference the
+/// tests compare Barnes-Hut against. Writes acceleration and potential.
+inline void directForces(std::span<Particle> particles,
+                         const GravityParams& params) {
+  for (auto& p : particles) {
+    p.acceleration = Vec3{};
+    p.potential = 0.0;
+    for (const auto& q : particles) {
+      gravExact(q, p.position, params, p.acceleration, p.potential);
+    }
+  }
+}
+
+}  // namespace paratreet

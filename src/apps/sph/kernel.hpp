@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cmath>
+
+namespace paratreet::sph {
+
+/// The M4 cubic-spline smoothing kernel (Monaghan & Lattanzio 1985), the
+/// standard SPH kernel. Support radius is 2h in the q = r/h convention
+/// used here; sigma is the 3D normalization 1/(pi h^3).
+inline double kernelW(double r, double h) {
+  const double q = r / h;
+  const double sigma = 1.0 / (3.14159265358979323846 * h * h * h);
+  if (q < 1.0) {
+    return sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+  }
+  if (q < 2.0) {
+    const double t = 2.0 - q;
+    return sigma * 0.25 * t * t * t;
+  }
+  return 0.0;
+}
+
+/// dW/dr of the cubic spline; negative within the support (the kernel
+/// decreases outward). Returns the scalar derivative; the vector gradient
+/// is gradW = (dW/dr) * dr_hat.
+inline double kernelDw(double r, double h) {
+  const double q = r / h;
+  const double sigma = 1.0 / (3.14159265358979323846 * h * h * h);
+  if (q < 1.0) {
+    return sigma * (-3.0 * q + 2.25 * q * q) / h;
+  }
+  if (q < 2.0) {
+    const double t = 2.0 - q;
+    return sigma * (-0.75 * t * t) / h;
+  }
+  return 0.0;
+}
+
+}  // namespace paratreet::sph

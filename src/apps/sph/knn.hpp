@@ -1,0 +1,152 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "apps/sph/kernel.hpp"
+#include "tree/node.hpp"
+#include "tree/particle.hpp"
+
+namespace paratreet {
+
+/// One k-nearest-neighbour candidate: enough of the source particle is
+/// copied that later SPH passes need no second tree lookup.
+struct Neighbor {
+  double d2{0.0};
+  Vec3 position{};
+  Vec3 velocity{};
+  double mass{0.0};
+  std::int32_t order{-1};
+
+  /// Max-heap ordering by distance: the heap root is the farthest of the
+  /// current k best, which defines the search ball.
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    return a.d2 < b.d2;
+  }
+};
+
+/// Global k-nearest-neighbour result storage, indexed by particle
+/// `order`. Thread safety comes from the partition structure: every
+/// particle lives in exactly one bucket of one Partition, and a
+/// Partition's traversal tasks are serialized, so each entry has a single
+/// writer.
+class NeighborStore {
+ public:
+  NeighborStore(std::size_t n_particles, int k) : k_(k), lists_(n_particles) {}
+
+  int k() const { return k_; }
+
+  /// Offer a source particle as a neighbour candidate of `target`;
+  /// updates the target's search ball (ball2) as the heap tightens.
+  void consider(Particle& target, const Particle& source) {
+    const double d2 = distanceSquared(target.position, source.position);
+    auto& heap = lists_[static_cast<std::size_t>(target.order)];
+    if (static_cast<int>(heap.size()) < k_) {
+      heap.push_back({d2, source.position, source.velocity, source.mass,
+                      source.order});
+      std::push_heap(heap.begin(), heap.end());
+      if (static_cast<int>(heap.size()) == k_) target.ball2 = heap.front().d2;
+      return;
+    }
+    if (d2 < heap.front().d2) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d2, source.position, source.velocity, source.mass,
+                     source.order};
+      std::push_heap(heap.begin(), heap.end());
+      target.ball2 = heap.front().d2;
+    }
+  }
+
+  const std::vector<Neighbor>& neighbors(std::int32_t order) const {
+    return lists_[static_cast<std::size_t>(order)];
+  }
+  std::vector<Neighbor>& neighbors(std::int32_t order) {
+    return lists_[static_cast<std::size_t>(order)];
+  }
+  std::size_t size() const { return lists_.size(); }
+
+  void clear() {
+    for (auto& l : lists_) l.clear();
+  }
+
+ private:
+  int k_;
+  std::vector<std::vector<Neighbor>> lists_;
+};
+
+/// Search-ball initialization: before a kNN traversal every particle's
+/// ball is infinite (accept anything until k candidates are known).
+inline constexpr double kInfiniteBall = std::numeric_limits<double>::infinity();
+
+/// The k-nearest-neighbour Visitor, meant for the up-and-down traversal:
+/// processing the bucket's own leaf first collapses the search ball, so
+/// the outward sweep prunes nearly everything. Works with any Data — the
+/// pruning is pure geometry against the per-particle ball.
+template <typename Data>
+struct KNearestVisitor {
+  NeighborStore* store{nullptr};
+
+  bool open(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      const Particle& p = target.particle(i);
+      if (source.box.distanceSquared(p.position) < p.ball2) return true;
+    }
+    return false;
+  }
+
+  void node(const SpatialNode<Data>&, SpatialNode<Data>&) const {}
+
+  void leaf(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      Particle& p = target.particle(i);
+      if (source.box.distanceSquared(p.position) >= p.ball2) continue;
+      for (int j = 0; j < source.n_particles; ++j) {
+        store->consider(p, source.particle(j));
+      }
+    }
+  }
+};
+
+/// Fixed-ball search Visitor (the Gadget-2 style primitive): gathers
+/// density contributions and neighbour counts within each particle's
+/// current fixed radius sqrt(ball2). Converged particles carry ball2 = 0
+/// and are skipped for free by the same pruning test.
+template <typename Data>
+struct FixedBallDensityVisitor {
+  bool open(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      const Particle& p = target.particle(i);
+      if (p.ball2 > 0.0 &&
+          source.box.distanceSquared(p.position) < p.ball2) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void node(const SpatialNode<Data>&, SpatialNode<Data>&) const {}
+
+  void leaf(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      Particle& p = target.particle(i);
+      if (p.ball2 <= 0.0 ||
+          source.box.distanceSquared(p.position) >= p.ball2) {
+        continue;
+      }
+      // The search ball has radius 2h (the kernel support).
+      const double h = 0.5 * std::sqrt(p.ball2);
+      for (int j = 0; j < source.n_particles; ++j) {
+        const Particle& q = source.particle(j);
+        const double d2 = distanceSquared(p.position, q.position);
+        if (d2 < p.ball2) {
+          p.density += q.mass * sph::kernelW(std::sqrt(d2), h);
+          p.neighbor_count += 1;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace paratreet

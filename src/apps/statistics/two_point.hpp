@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dual_tree.hpp"
+#include "tree/node.hpp"
+
+namespace paratreet {
+
+/// Data for pair-statistics workloads: just the particle count (boxes
+/// live on the nodes).
+struct PairCountData {
+  std::int64_t count{0};
+
+  PairCountData() = default;
+  PairCountData(const Particle*, int n) : count(n) {}
+  PairCountData& operator+=(const PairCountData& child) {
+    count += child.count;
+    return *this;
+  }
+};
+
+/// Log-binned pair-separation histogram shared by all partitions of a
+/// two-point traversal; bins are updated with relaxed atomics.
+class PairHistogram {
+ public:
+  PairHistogram(double r_min, double r_max, std::size_t bins)
+      : log_min_(std::log(r_min)),
+        inv_width_(static_cast<double>(bins) /
+                   (std::log(r_max) - std::log(r_min))),
+        r_min_(r_min), r_max_(r_max),
+        counts_(std::make_unique<std::atomic<std::int64_t>[]>(bins)),
+        n_bins_(bins) {}
+
+  std::size_t bins() const { return n_bins_; }
+  double rMin() const { return r_min_; }
+  double rMax() const { return r_max_; }
+
+  /// Geometric center of bin `i`.
+  double binCenter(std::size_t i) const {
+    const double lo = log_min_ + static_cast<double>(i) / inv_width_;
+    return std::exp(lo + 0.5 / inv_width_);
+  }
+  std::int64_t count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (std::size_t i = 0; i < n_bins_; ++i) t += count(i);
+    return t;
+  }
+
+  /// Record `weight` pairs at separation-squared `d2`.
+  void add(double d2, std::int64_t weight = 1) {
+    if (d2 <= 0.0) return;  // self-pairs excluded
+    const double r = std::sqrt(d2);
+    if (r < r_min_ || r >= r_max_) return;
+    const auto bin = static_cast<std::size_t>(
+        (std::log(r) - log_min_) * inv_width_);
+    counts_[bin < n_bins_ ? bin : n_bins_ - 1].fetch_add(
+        weight, std::memory_order_relaxed);
+  }
+
+ private:
+  double log_min_, inv_width_, r_min_, r_max_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::size_t n_bins_;
+};
+
+/// Two-point correlation dual-tree Visitor: accumulates the DD(r) pair
+/// counts for separations in [r_min, r_max). Node pairs entirely outside
+/// the range are pruned wholesale; pairs too coarse to bin are opened.
+/// cell() keeps the target and opens only the source while the source
+/// node is much larger — the B-vs-B² choice of the paper.
+struct TwoPointVisitor {
+  PairHistogram* histogram{nullptr};
+
+  /// A node pair can be binned without opening when its box-to-box
+  /// distance spread falls inside one log bin; we use the cheaper,
+  /// conservative criterion: both extremes outside [r_min, r_max) with
+  /// the same sign.
+  static bool disjointFromRange(const OrientedBox& a, const OrientedBox& b,
+                                double r_min, double r_max) {
+    const double d2_min = Space::distanceSquared(a, b);
+    if (d2_min >= r_max * r_max) return true;  // everything too far
+    // Farthest corner-to-corner distance.
+    double d2_max = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double lo = std::min(a.lesser_corner[i], b.lesser_corner[i]);
+      const double hi = std::max(a.greater_corner[i], b.greater_corner[i]);
+      d2_max += (hi - lo) * (hi - lo);
+    }
+    return d2_max < r_min * r_min;  // everything closer than r_min
+  }
+
+  CellDecision cell(const SpatialNode<PairCountData>& source,
+                    const SpatialNode<PairCountData>& target) const {
+    if (disjointFromRange(source.box, target.box, histogram->rMin(),
+                          histogram->rMax())) {
+      return CellDecision::kApproximate;  // node(): contributes nothing
+    }
+    // Open the larger side; when the source is much bigger, keep the
+    // target (B interactions), else open both (B² interactions).
+    const double src_size = source.box.size().lengthSquared();
+    const double tgt_size = target.box.size().lengthSquared();
+    return src_size > 4.0 * tgt_size ? CellDecision::kOpenSource
+                                     : CellDecision::kOpenBoth;
+  }
+
+  bool open(const SpatialNode<PairCountData>& source,
+            SpatialNode<PairCountData>& target) const {
+    return !disjointFromRange(source.box, target.box, histogram->rMin(),
+                              histogram->rMax());
+  }
+
+  void node(const SpatialNode<PairCountData>&,
+            SpatialNode<PairCountData>&) const {}
+  void node(const SpatialNode<PairCountData>&,
+            const SpatialNode<PairCountData>&) const {}
+
+  void leaf(const SpatialNode<PairCountData>& source,
+            SpatialNode<PairCountData>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      const Vec3 pos = target.particle(i).position;
+      for (int j = 0; j < source.n_particles; ++j) {
+        histogram->add(distanceSquared(pos, source.particle(j).position));
+      }
+    }
+  }
+};
+
+/// Brute-force DD(r) reference for tests.
+inline void bruteForcePairCounts(const std::vector<Particle>& particles,
+                                 PairHistogram& histogram) {
+  for (const auto& a : particles) {
+    for (const auto& b : particles) {
+      if (a.order == b.order) continue;
+      histogram.add(distanceSquared(a.position, b.position));
+    }
+  }
+}
+
+}  // namespace paratreet

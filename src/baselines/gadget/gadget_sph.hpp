@@ -1,0 +1,185 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/sph/knn.hpp"
+#include "apps/sph/sph.hpp"
+#include "core/forest.hpp"
+
+namespace paratreet::baselines {
+
+/// Pressure-force companion of FixedBallDensityVisitor: a second
+/// fixed-ball sweep that evaluates the symmetric SPH pressure force using
+/// the previously published density/pressure fields (indexed by source
+/// particle order).
+template <typename Data>
+struct FixedBallForceVisitor {
+  const double* density{nullptr};
+  const double* pressure{nullptr};
+
+  bool open(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      const Particle& p = target.particle(i);
+      if (p.ball2 > 0.0 && source.box.distanceSquared(p.position) < p.ball2) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void node(const SpatialNode<Data>&, SpatialNode<Data>&) const {}
+
+  void leaf(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
+    for (int i = 0; i < target.n_particles; ++i) {
+      Particle& p = target.particle(i);
+      if (p.ball2 <= 0.0 || p.density <= 0.0 ||
+          source.box.distanceSquared(p.position) >= p.ball2) {
+        continue;
+      }
+      const double h_i = 0.5 * std::sqrt(p.ball2);
+      const double pi_term = p.pressure / (p.density * p.density);
+      Vec3 accel{};
+      for (int j = 0; j < source.n_particles; ++j) {
+        const Particle& q = source.particle(j);
+        if (q.order == p.order) continue;
+        const double d2 = distanceSquared(p.position, q.position);
+        if (d2 >= p.ball2 || d2 == 0.0) continue;
+        const auto jo = static_cast<std::size_t>(q.order);
+        const double rho_j = density[jo];
+        if (rho_j <= 0.0) continue;
+        const double pj_term = pressure[jo] / (rho_j * rho_j);
+        const double r = std::sqrt(d2);
+        const double dw = sph::kernelDw(r, h_i);
+        accel += (-q.mass * (pi_term + pj_term) * dw / r) *
+                 (p.position - q.position);
+      }
+      p.acceleration += accel;
+    }
+  }
+};
+
+/// Counters Fig 11 explains: how much tree work the convergence loop
+/// costs compared with ParaTreeT's single kNN traversal.
+struct GadgetSphStats {
+  int density_rounds = 0;          ///< fixed-ball sweeps until h converged
+  std::size_t final_unconverged = 0;
+};
+
+/// The Gadget-2-style SPH baseline (paper Fig 11): instead of a k-nearest
+/// -neighbour search, every particle *converges a smoothing length* by
+/// repeated fixed-ball searches — "more parallelizable but less
+/// efficient", as the paper puts it. Each round re-traverses the tree for
+/// every unconverged particle; converged particles are deactivated.
+template <typename Data, typename TreeTypeT>
+class GadgetSphSolver {
+ public:
+  GadgetSphSolver(Forest<Data, TreeTypeT>& forest, SphParams params,
+                  int max_rounds = 30, int neighbor_tolerance = 4)
+      : forest_(forest), params_(params), max_rounds_(max_rounds),
+        tolerance_(neighbor_tolerance) {}
+
+  const GadgetSphStats& stats() const { return stats_; }
+
+  /// One full SPH iteration: converge h + density, then the force sweep.
+  void step() {
+    const SphFields fields = densityPass();
+    forcePass(fields);
+  }
+
+  SphFields densityPass() {
+    stats_ = {};
+    const std::size_t n = forest_.particleCount();
+    // Initial guess: the radius enclosing ~k neighbours in a uniform
+    // distribution of the universe volume.
+    const double volume = std::max(forest_.universe().volume(), 1e-300);
+    const double h0 =
+        std::cbrt(volume * static_cast<double>(params_.k_neighbors) /
+                  (4.18879 * std::max<std::size_t>(n, 1)));
+    forest_.forEachParticle([h0](Particle& p) {
+      p.ball2 = 4.0 * h0 * h0;  // support radius 2h
+      p.density = 0.0;
+      p.neighbor_count = 0;
+      // Bisection bracket for the smoothing length, kept in fields that
+      // are otherwise unused until the density is final: potential =
+      // lower bound on ball2, pressure = upper bound (0 = unset).
+      p.potential = 0.0;
+      p.pressure = 0.0;
+    });
+
+    const int k = params_.k_neighbors;
+    for (int round = 0; round < max_rounds_; ++round) {
+      stats_.density_rounds = round + 1;
+      forest_.template traverse<FixedBallDensityVisitor<Data>>({});
+      // Check convergence; bisect h for out-of-range particles (Gadget's
+      // NGB bracketing): expand geometrically until the count brackets k,
+      // then binary-search the bracket.
+      const int tol = tolerance_;
+      std::atomic<std::size_t> unconverged{0};
+      auto* uc = &unconverged;
+      forest_.forEachParticle([k, tol, uc](Particle& p) {
+        if (p.ball2 <= 0.0) return;  // already converged
+        if (std::abs(p.neighbor_count - k) <= tol) {
+          // Converged: freeze h by negating ball2 (sign marks inactive,
+          // magnitude preserved for the force pass).
+          p.ball2 = -p.ball2;
+          return;
+        }
+        if (p.neighbor_count < k) {
+          p.potential = p.ball2;  // too few: raise the lower bound
+        } else {
+          p.pressure = p.ball2;  // too many: lower the upper bound
+        }
+        if (p.pressure > 0.0 && p.potential > 0.0) {
+          p.ball2 = 0.5 * (p.potential + p.pressure);
+        } else if (p.pressure > 0.0) {
+          p.ball2 = 0.5 * p.pressure;
+        } else {
+          p.ball2 = 2.0 * p.potential;
+        }
+        p.density = 0.0;
+        p.neighbor_count = 0;
+        uc->fetch_add(1, std::memory_order_relaxed);
+      });
+      stats_.final_unconverged = unconverged.load();
+      if (stats_.final_unconverged == 0) break;
+    }
+    // Clear the bracket scratch so the published fields are clean.
+    forest_.forEachParticle([](Particle& p) {
+      p.potential = 0.0;
+      p.pressure = 0.0;
+    });
+
+    // Reactivate all particles with their final h and publish fields.
+    SphFields fields;
+    fields.density.assign(n, 0.0);
+    fields.pressure.assign(n, 0.0);
+    const SphParams params = params_;
+    auto* fptr = &fields;
+    forest_.forEachParticle([params, fptr](Particle& p) {
+      p.ball2 = std::abs(p.ball2);
+      const double pressure =
+          (params.gamma - 1.0) * p.density * params.internal_energy;
+      p.pressure = pressure;
+      fptr->density[static_cast<std::size_t>(p.order)] = p.density;
+      fptr->pressure[static_cast<std::size_t>(p.order)] = pressure;
+    });
+    return fields;
+  }
+
+  void forcePass(const SphFields& fields) {
+    FixedBallForceVisitor<Data> visitor{fields.density.data(),
+                                        fields.pressure.data()};
+    forest_.template traverse<FixedBallForceVisitor<Data>>(visitor);
+  }
+
+ private:
+  Forest<Data, TreeTypeT>& forest_;
+  SphParams params_;
+  int max_rounds_;
+  int tolerance_;
+  GadgetSphStats stats_;
+};
+
+}  // namespace paratreet::baselines

@@ -1,0 +1,105 @@
+#include "cachesim/cachesim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paratreet::cachesim {
+
+Cache::Cache(const LevelConfig& config) : config_(config) {
+  assert(config_.line_bytes > 0 && config_.associativity > 0);
+  n_sets_ = std::max<std::size_t>(
+      1, config_.capacity_bytes / (config_.line_bytes * config_.associativity));
+  ways_.resize(n_sets_ * config_.associativity);
+}
+
+bool Cache::accessLine(std::uint64_t line_addr, bool is_store) {
+  auto& stat_accesses = is_store ? stats_.store_accesses : stats_.load_accesses;
+  auto& stat_misses = is_store ? stats_.store_misses : stats_.load_misses;
+  ++stat_accesses;
+
+  const std::size_t set = static_cast<std::size_t>(line_addr) % n_sets_;
+  Way* base = &ways_[set * config_.associativity];
+  Way* victim = base;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line_addr) {
+      way.lru = ++tick_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  ++stat_misses;
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->lru = ++tick_;
+  return false;
+}
+
+SmpHierarchy::SmpHierarchy(int n_cpus, const SkxConfig& config)
+    : config_(config), l3_(config.l3) {
+  assert(n_cpus > 0);
+  l1_.reserve(static_cast<std::size_t>(n_cpus));
+  l2_.reserve(static_cast<std::size_t>(n_cpus));
+  for (int c = 0; c < n_cpus; ++c) {
+    l1_.emplace_back(config.l1);
+    l2_.emplace_back(config.l2);
+  }
+  cycles_.assign(static_cast<std::size_t>(n_cpus), 0.0);
+}
+
+void SmpHierarchy::access(int cpu, const void* addr, std::size_t bytes,
+                          bool is_store) {
+  assert(cpu >= 0 && cpu < numCpus());
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uint64_t first = a / config_.l1.line_bytes;
+  const std::uint64_t last = (a + (bytes ? bytes - 1 : 0)) / config_.l1.line_bytes;
+  const auto c = static_cast<std::size_t>(cpu);
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (l1_[c].accessLine(line, is_store)) {
+      cycles_[c] += config_.l1_cycles;
+    } else if (l2_[c].accessLine(line, is_store)) {
+      cycles_[c] += config_.l2_cycles;
+    } else if (l3_.accessLine(line, is_store)) {
+      cycles_[c] += config_.l3_cycles;
+    } else {
+      cycles_[c] += config_.mem_cycles;
+    }
+  }
+}
+
+LevelStats SmpHierarchy::l1Stats() const {
+  LevelStats s;
+  for (const auto& c : l1_) s += c.stats();
+  return s;
+}
+
+LevelStats SmpHierarchy::l2Stats() const {
+  LevelStats s;
+  for (const auto& c : l2_) s += c.stats();
+  return s;
+}
+
+double SmpHierarchy::storeL1L2MissRate() const {
+  const LevelStats l1 = l1Stats(), l2 = l2Stats();
+  const auto accesses = l1.store_accesses + l2.store_accesses;
+  const auto misses = l1.store_misses + l2.store_misses;
+  return accesses ? static_cast<double>(misses) / static_cast<double>(accesses)
+                  : 0.0;
+}
+
+double SmpHierarchy::maxCpuCycles() const {
+  return *std::max_element(cycles_.begin(), cycles_.end());
+}
+
+void SmpHierarchy::resetStats() {
+  for (auto& c : l1_) c.resetStats();
+  for (auto& c : l2_) c.resetStats();
+  l3_.resetStats();
+  std::fill(cycles_.begin(), cycles_.end(), 0.0);
+}
+
+}  // namespace paratreet::cachesim

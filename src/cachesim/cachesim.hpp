@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paratreet::cachesim {
+
+/// Geometry of one cache level.
+struct LevelConfig {
+  std::size_t capacity_bytes;
+  std::size_t line_bytes;
+  std::size_t associativity;
+};
+
+/// Per-level access counters, split by loads and stores.
+struct LevelStats {
+  std::uint64_t load_accesses = 0;
+  std::uint64_t load_misses = 0;
+  std::uint64_t store_accesses = 0;
+  std::uint64_t store_misses = 0;
+
+  double loadMissRate() const {
+    return load_accesses ? static_cast<double>(load_misses) /
+                               static_cast<double>(load_accesses)
+                         : 0.0;
+  }
+  double storeMissRate() const {
+    return store_accesses ? static_cast<double>(store_misses) /
+                                static_cast<double>(store_accesses)
+                          : 0.0;
+  }
+
+  LevelStats& operator+=(const LevelStats& o) {
+    load_accesses += o.load_accesses;
+    load_misses += o.load_misses;
+    store_accesses += o.store_accesses;
+    store_misses += o.store_misses;
+    return *this;
+  }
+};
+
+/// A set-associative cache with true-LRU replacement, modelling one level
+/// of the data-cache hierarchy. Addresses are byte addresses; an access
+/// spanning multiple lines touches each line once.
+class Cache {
+ public:
+  explicit Cache(const LevelConfig& config);
+
+  /// Access one line (line-granular address). Returns true on hit; on a
+  /// miss the line is installed (write-allocate for stores too).
+  bool accessLine(std::uint64_t line_addr, bool is_store);
+
+  const LevelConfig& config() const { return config_; }
+  const LevelStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  LevelConfig config_;
+  std::size_t n_sets_;
+  std::vector<Way> ways_;  ///< n_sets x associativity, row-major
+  std::uint64_t tick_ = 0;
+  LevelStats stats_;
+};
+
+/// Relevant characteristics of a Stampede2 SKX node (Table II caption):
+/// 32 KB L1D, 1 MB L2, 33 MB shared L3, 64-byte lines.
+struct SkxConfig {
+  LevelConfig l1{32 * 1024, 64, 8};
+  LevelConfig l2{1024 * 1024, 64, 16};
+  LevelConfig l3{33 * 1024 * 1024, 64, 11};
+  /// Latency model used for the runtime proxy (cycles per access).
+  double l1_cycles = 4, l2_cycles = 14, l3_cycles = 68, mem_cycles = 220;
+};
+
+/// A small SMP memory hierarchy: `n_cpus` CPUs with private L1D and L2,
+/// all sharing one L3, as on the Skylake node Table II was profiled on.
+/// The simulated "runtime" proxy is the maximum per-CPU cycle count.
+class SmpHierarchy {
+ public:
+  SmpHierarchy(int n_cpus, const SkxConfig& config = {});
+
+  /// Simulate a data access of `bytes` at `addr` from `cpu`.
+  void access(int cpu, const void* addr, std::size_t bytes, bool is_store);
+  void load(int cpu, const void* addr, std::size_t bytes) {
+    access(cpu, addr, bytes, false);
+  }
+  void store(int cpu, const void* addr, std::size_t bytes) {
+    access(cpu, addr, bytes, true);
+  }
+
+  int numCpus() const { return static_cast<int>(l1_.size()); }
+
+  /// Aggregate stats across all CPUs' private caches.
+  LevelStats l1Stats() const;
+  LevelStats l2Stats() const;
+  LevelStats l3Stats() const { return l3_.stats(); }
+
+  /// Combined L1D & L2 store miss rate (Table II reports these together).
+  double storeL1L2MissRate() const;
+
+  /// Modeled cycles of the slowest CPU — the runtime proxy.
+  double maxCpuCycles() const;
+  double cpuCycles(int cpu) const { return cycles_[static_cast<std::size_t>(cpu)]; }
+
+  void resetStats();
+
+ private:
+  SkxConfig config_;
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  Cache l3_;
+  std::vector<double> cycles_;
+};
+
+}  // namespace paratreet::cachesim

@@ -1,0 +1,602 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/serialization.hpp"
+#include "rts/profiler.hpp"
+#include "rts/runtime.hpp"
+#include "tree/arena.hpp"
+#include "tree/node.hpp"
+
+namespace paratreet {
+
+/// Compare keys by their position along the tree's space-filling order,
+/// ancestors before descendants. Used to lay out subtree-root records so
+/// each upper-tree branch owns a contiguous range.
+inline bool pathLess(Key a, Key b, int bits_per_level) {
+  const int la = keys::level(a, bits_per_level);
+  const int lb = keys::level(b, bits_per_level);
+  Key aa = a, bb = b;
+  if (la < lb) bb >>= (lb - la) * bits_per_level;
+  else aa >>= (la - lb) * bits_per_level;
+  if (aa != bb) return aa < bb;
+  return la < lb;
+}
+
+/// Per-process software cache of the global tree (paper Section II.B).
+///
+/// The cache is a *single tree per process*: replicated upper ("branch")
+/// nodes, links to the local Subtrees' roots, and placeholders for remote
+/// regions. A traversal that reaches an unfetched placeholder registers a
+/// continuation and moves on; the home process ships the region
+/// (`fetch_depth` levels plus leaf particles), and the receiving worker
+/// wires it up and publishes it according to the configured CacheModel:
+///
+///  - kWaitFree        — nodes are built privately, then published with one
+///                       release-store of the parent's child link; readers
+///                       never block and writers never lock (the paper's
+///                       contribution).
+///  - kXWrite          — identical, but every insertion holds the process
+///                       lock ("exclusive write").
+///  - kSingleInserter  — insertions are funneled through one worker at a
+///                       time via a serial queue.
+///  - kPerThread       — every worker keeps a private cache; nothing is
+///                       shared, so each worker re-fetches remote data
+///                       (the Fig 3 "Sequential" model: more communication
+///                       volume and memory, no write contention).
+///
+/// All models produce identical traversal results; they differ only in
+/// synchronization and communication behaviour.
+template <typename Data>
+class CacheManager {
+ public:
+  struct Options {
+    CacheModel model = CacheModel::kWaitFree;
+    int fetch_depth = 3;
+    int bits_per_level = 3;
+    rts::ActivityProfiler* profiler = nullptr;
+  };
+
+  /// Statistics for one iteration of traversal, per process. Counters are
+  /// updated concurrently by workers (relaxed atomics) and read after
+  /// drain().
+  struct Stats {
+    std::atomic<std::uint64_t> requests_sent{0};    ///< misses that fetched
+    std::atomic<std::uint64_t> requests_served{0};  ///< fetches served
+    std::atomic<std::uint64_t> fills{0};            ///< responses inserted
+    std::atomic<std::uint64_t> nodes_inserted{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> pauses{0};  ///< continuations deferred
+    /// Nodes replicated during the build by the share_levels knob.
+    std::atomic<std::uint64_t> preloaded_nodes{0};
+    /// Nanoseconds spent waiting to acquire insertion locks (kXWrite /
+    /// kSingleInserter); identically zero for the wait-free model.
+    std::atomic<std::uint64_t> lock_wait_ns{0};
+
+    void reset() {
+      requests_sent = 0;
+      requests_served = 0;
+      fills = 0;
+      nodes_inserted = 0;
+      bytes_received = 0;
+      pauses = 0;
+      preloaded_nodes = 0;
+      lock_wait_ns = 0;
+    }
+  };
+
+  /// Copyable snapshot of Stats; what aggregation APIs return.
+  struct StatsSnapshot {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t requests_served = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t nodes_inserted = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t pauses = 0;
+    std::uint64_t preloaded_nodes = 0;
+    std::uint64_t lock_wait_ns = 0;
+
+    StatsSnapshot& operator+=(const Stats& s) {
+      requests_sent += s.requests_sent.load(std::memory_order_relaxed);
+      requests_served += s.requests_served.load(std::memory_order_relaxed);
+      fills += s.fills.load(std::memory_order_relaxed);
+      nodes_inserted += s.nodes_inserted.load(std::memory_order_relaxed);
+      bytes_received += s.bytes_received.load(std::memory_order_relaxed);
+      pauses += s.pauses.load(std::memory_order_relaxed);
+      preloaded_nodes += s.preloaded_nodes.load(std::memory_order_relaxed);
+      lock_wait_ns += s.lock_wait_ns.load(std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  void init(rts::Runtime* rt, int proc, const Options& opts,
+            std::deque<CacheManager>* all_caches) {
+    rt_ = rt;
+    proc_ = proc;
+    opts_ = opts;
+    all_caches_ = all_caches;
+    worker_caches_.clear();
+    if (opts_.model == CacheModel::kPerThread) {
+      worker_caches_.resize(static_cast<std::size_t>(rt->workersPerProc()));
+      for (auto& wc : worker_caches_) wc = std::make_unique<WorkerCache>();
+    }
+  }
+
+  int proc() const { return proc_; }
+  const Options& options() const { return opts_; }
+
+  // --- build phase ----------------------------------------------------------
+
+  /// Drop all cached state; called at each tree build.
+  void reset() {
+    arena_.clear();
+    blocks_.clear();
+    local_roots_.clear();
+    root_.store(nullptr, std::memory_order_relaxed);
+    stats_.reset();
+    for (auto& wc : worker_caches_) {
+      std::lock_guard lock(wc->mutex);
+      wc->entries.clear();
+      wc->blocks.clear();
+    }
+  }
+
+  /// Register a local Subtree's root (Fig 2 bottom-left hash table). Uses
+  /// a lock for these build-time inserts; the table is read-only during
+  /// traversal.
+  void insertLocalRoot(Key key, Node<Data>* subtree_root) {
+    std::lock_guard lock(local_roots_mutex_);
+    local_roots_.emplace(key, subtree_root);
+  }
+
+  /// Assemble the replicated upper tree from all Subtrees' root records.
+  /// Local roots link to the real local nodes; remote roots become
+  /// placeholders carrying the broadcast summary Data.
+  void buildUpperTree(std::vector<RootRecord<Data>> roots,
+                      const OrientedBox& universe) {
+    std::sort(roots.begin(), roots.end(),
+              [this](const RootRecord<Data>& a, const RootRecord<Data>& b) {
+                return pathLess(a.key, b.key, opts_.bits_per_level);
+              });
+    root_.store(buildUpper(std::span<const RootRecord<Data>>(roots),
+                           keys::kRoot, 0, universe),
+                std::memory_order_release);
+  }
+
+  Node<Data>* root() const { return root_.load(std::memory_order_acquire); }
+
+  /// The node for `key` in this process's local subtrees (exact match on
+  /// a subtree root, or a descent from one). Returns nullptr when the key
+  /// is not homed here.
+  Node<Data>* localNode(Key key) const {
+    // Walk up the key's ancestors until one matches a local subtree root.
+    Key ancestor = key;
+    int steps = 0;
+    while (true) {
+      auto it = local_roots_.find(ancestor);
+      if (it != local_roots_.end()) {
+        // Descend back down following the key's path bits.
+        Node<Data>* n = it->second;
+        for (int s = steps - 1; s >= 0; --s) {
+          if (n == nullptr || n->leaf() || n->placeholder()) return nullptr;
+          const auto slot = static_cast<int>(
+              (key >> (s * opts_.bits_per_level)) &
+              ((Key{1} << opts_.bits_per_level) - 1));
+          if (slot >= n->n_children) return nullptr;
+          n = n->child(slot);
+        }
+        return n;
+      }
+      if (ancestor <= keys::kRoot) return nullptr;
+      ancestor >>= opts_.bits_per_level;
+      ++steps;
+    }
+  }
+
+  // --- traversal phase --------------------------------------------------------
+
+  /// Resolve a placeholder through the calling worker's private cache
+  /// (kPerThread only). Returns the fetched copy or nullptr if absent.
+  Node<Data>* resolvePrivate(const Node<Data>* placeholder, int worker_slot) {
+    assert(opts_.model == CacheModel::kPerThread);
+    auto& wc = *worker_caches_[static_cast<std::size_t>(worker_slot)];
+    std::lock_guard lock(wc.mutex);
+    auto it = wc.entries.find(placeholder->key);
+    return it != wc.entries.end() && it->second.filled ? it->second.node
+                                                       : nullptr;
+  }
+
+  /// Locate an upper-tree node by key (descending from the root along
+  /// the key's path bits). Returns nullptr when the key is not on this
+  /// process's replicated upper levels.
+  Node<Data>* findUpperNode(Key key) {
+    const int bits = opts_.bits_per_level;
+    const int target_level = keys::level(key, bits);
+    Node<Data>* n = root();
+    while (n != nullptr && n->depth < target_level && !n->leaf() &&
+           !n->placeholder()) {
+      const int rel = (target_level - n->depth - 1) * bits;
+      const auto slot =
+          static_cast<int>((key >> rel) & ((Key{1} << bits) - 1));
+      if (slot >= n->n_children) return nullptr;
+      n = n->child(slot);
+    }
+    return n != nullptr && n->key == key ? n : nullptr;
+  }
+
+  /// Build-phase insertion of a proactively shared region (the paper's
+  /// "number of branch nodes shared across all processors" knob): the
+  /// region replaces its placeholder exactly like a cache fill, but is
+  /// accounted separately from traversal-time fetches.
+  void preload(const ResponseBlock<Data>& block) {
+    Node<Data>* ph = findUpperNode(block.requested);
+    if (ph == nullptr || !ph->placeholder()) return;
+    stats_.preloaded_nodes.fetch_add(block.records.size(),
+                                     std::memory_order_relaxed);
+    insertShared(block, ph);
+  }
+
+  /// Pause a traversal on unfetched placeholder `ph`: fire the fetch if
+  /// this is the first request, and schedule `resume` to run (as a fresh
+  /// task on this process) once the data is published. If the data
+  /// arrived concurrently, `resume` is enqueued immediately.
+  void requestThenResume(Node<Data>* ph, std::function<void()> resume,
+                         int worker_slot) {
+    rts::ActivityScope scope(opts_.profiler, rts::Activity::kCacheRequest);
+    stats_.pauses.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.model == CacheModel::kPerThread) {
+      requestPerThread(ph, std::move(resume), worker_slot);
+      return;
+    }
+    const bool first = !ph->requested.exchange(true, std::memory_order_acq_rel);
+    if (first) sendRequest(ph, worker_slot);
+    auto* w = new Waiter{nullptr, std::move(resume)};
+    if (!ph->addWaiter(w)) {
+      // Already published: the parent's child link holds the fresh node.
+      rt_->enqueue(proc_, std::move(w->resume));
+      delete w;
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Sum of private-cache node copies (kPerThread memory footprint).
+  std::size_t cachedNodeCount() const {
+    std::size_t n = arena_.size();
+    for (const auto& b : blocks_) n += b->nodes.size();
+    for (const auto& wc : worker_caches_) {
+      std::lock_guard lock(wc->mutex);
+      for (const auto& b : wc->blocks) n += b->nodes.size();
+    }
+    return n;
+  }
+
+ private:
+  struct NodeBlock {
+    std::deque<Node<Data>> nodes;
+    std::vector<Particle> particles;
+  };
+
+  struct WorkerEntry {
+    bool filled = false;
+    Node<Data>* node = nullptr;
+    std::vector<std::function<void()>> waiters;
+  };
+
+  struct WorkerCache {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, WorkerEntry> entries;
+    std::vector<std::unique_ptr<NodeBlock>> blocks;
+  };
+
+  Node<Data>* buildUpper(std::span<const RootRecord<Data>> records, Key key,
+                         int depth, const OrientedBox& universe) {
+    const int bits = opts_.bits_per_level;
+    if (records.empty()) {
+      Node<Data>* n = arena_.allocate();
+      n->key = key;
+      n->depth = static_cast<std::int16_t>(depth);
+      n->type = NodeType::kEmptyLeaf;
+      return n;
+    }
+    if (records.size() == 1 && records.front().key == key) {
+      const RootRecord<Data>& rec = records.front();
+      if (rec.home_proc == proc_) {
+        auto it = local_roots_.find(key);
+        assert(it != local_roots_.end());
+        return it->second;
+      }
+      Node<Data>* n = arena_.allocate();
+      n->key = key;
+      n->depth = static_cast<std::int16_t>(depth);
+      n->type = rec.type == NodeType::kInternal ? NodeType::kRemote
+                : rec.type == NodeType::kLeaf   ? NodeType::kRemoteLeaf
+                                                : NodeType::kEmptyLeaf;
+      n->box = rec.box;
+      n->data = rec.data;
+      n->n_particles = rec.n_particles;
+      n->n_children = rec.type == NodeType::kInternal
+                          ? static_cast<std::int16_t>(1 << bits)
+                          : 0;
+      n->owner_subtree = rec.owner_subtree;
+      n->home_proc = rec.home_proc;
+      return n;
+    }
+    // Branch node: group records by the child of `key` they fall under.
+    Node<Data>* n = arena_.allocate();
+    n->key = key;
+    n->depth = static_cast<std::int16_t>(depth);
+    n->type = NodeType::kBoundary;
+    n->n_children = static_cast<std::int16_t>(1 << bits);
+    n->data = Data{};
+    std::size_t begin = 0;
+    for (int c = 0; c < n->n_children; ++c) {
+      const Key child_key = keys::child(key, static_cast<unsigned>(c), bits);
+      std::size_t end = begin;
+      while (end < records.size() &&
+             keys::isAncestorOf(child_key, records[end].key, bits)) {
+        ++end;
+      }
+      Node<Data>* child = buildUpper(records.subspan(begin, end - begin),
+                                     child_key, depth + 1, universe);
+      n->setChild(c, child);
+      n->data += child->data;
+      n->n_particles += child->n_particles;
+      n->box.grow(child->box);
+      begin = end;
+    }
+    assert(begin == records.size());
+    return n;
+  }
+
+  // --- request / fill protocol ------------------------------------------------
+
+  void sendRequest(Node<Data>* ph, int worker_slot) {
+    stats_.requests_sent.fetch_add(1, std::memory_order_relaxed);
+    const int home = ph->home_proc;
+    const Key key = ph->key;
+    const int requester = proc_;
+    CacheManager* req_cache = this;
+    auto* caches = all_caches_;
+    // Request message: key + routing metadata.
+    rt_->send(proc_, home, sizeof(Key) + 3 * sizeof(int),
+              [caches, home, key, requester, req_cache, ph, worker_slot] {
+                (*caches)[static_cast<std::size_t>(home)].serveRequest(
+                    key, requester, req_cache, ph, worker_slot);
+              });
+  }
+
+  /// Home side (Fig 2, Step 1): serialize the region and reply.
+  void serveRequest(Key key, int requester, CacheManager* req_cache,
+                    Node<Data>* ph, int worker_slot) {
+    rts::ActivityScope scope(opts_.profiler, rts::Activity::kCacheRequest);
+    stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    Node<Data>* node = localNode(key);
+    assert(node != nullptr && "request for a key not homed here");
+    auto block = std::make_shared<ResponseBlock<Data>>(
+        serializeRegion(node, opts_.fetch_depth));
+    const std::size_t bytes = block->byteSize();
+    rt_->send(proc_, requester, bytes, [req_cache, block, ph, worker_slot, bytes] {
+      req_cache->handleResponse(std::move(block), ph, worker_slot, bytes);
+    });
+  }
+
+  /// Requester side (Fig 2, Steps 2-5), dispatched to whichever worker is
+  /// least busy by the runtime.
+  void handleResponse(std::shared_ptr<ResponseBlock<Data>> block,
+                      Node<Data>* ph, int worker_slot, std::size_t bytes) {
+    rts::ActivityScope scope(opts_.profiler, rts::Activity::kCacheInsertion);
+    stats_.fills.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+    switch (opts_.model) {
+      case CacheModel::kWaitFree:
+        insertShared(*block, ph);
+        break;
+      case CacheModel::kXWrite: {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::lock_guard lock(xwrite_mutex_);
+        recordLockWait(t0);
+        insertShared(*block, ph);
+        break;
+      }
+      case CacheModel::kSingleInserter: {
+        // Funnel through a serial queue: at most one worker inserts at a
+        // time, and queued fills are drained in arrival order.
+        {
+          const auto t0 = std::chrono::steady_clock::now();
+          std::lock_guard lock(inserter_mutex_);
+          recordLockWait(t0);
+          inserter_queue_.emplace_back(std::move(block), ph);
+          if (inserter_active_) return;
+          inserter_active_ = true;
+        }
+        drainInserterQueue();
+        break;
+      }
+      case CacheModel::kPerThread:
+        insertPerThread(*block, worker_slot);
+        break;
+    }
+  }
+
+  void recordLockWait(std::chrono::steady_clock::time_point start) {
+    const auto waited = std::chrono::steady_clock::now() - start;
+    stats_.lock_wait_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+  void drainInserterQueue() {
+    while (true) {
+      std::pair<std::shared_ptr<ResponseBlock<Data>>, Node<Data>*> item;
+      {
+        std::lock_guard lock(inserter_mutex_);
+        if (inserter_queue_.empty()) {
+          inserter_active_ = false;
+          return;
+        }
+        item = std::move(inserter_queue_.front());
+        inserter_queue_.pop_front();
+      }
+      insertShared(*item.first, item.second);
+    }
+  }
+
+  /// Materialize a response as nodes. Frontier internal records (children
+  /// not shipped) become requestable placeholders carrying valid Data.
+  /// Returns the region root; `out_block` owns the storage.
+  Node<Data>* materialize(const ResponseBlock<Data>& block,
+                          NodeBlock& out_block, bool check_local_roots) {
+    out_block.particles = block.particles;
+    std::vector<Node<Data>*> made(block.records.size(), nullptr);
+    for (std::size_t i = 0; i < block.records.size(); ++i) {
+      const NodeRecord<Data>& rec = block.records[i];
+      // Fig 2, Step 3: a record that is actually homed here (a local
+      // subtree root) links to the real local node instead of a copy.
+      if (check_local_roots && i > 0) {
+        auto it = local_roots_.find(rec.key);
+        if (it != local_roots_.end()) {
+          made[i] = it->second;
+          made[static_cast<std::size_t>(rec.parent_index)]->setChild(
+              rec.child_slot, it->second);
+          continue;
+        }
+      }
+      Node<Data>* n = &out_block.nodes.emplace_back();
+      made[i] = n;
+      n->key = rec.key;
+      n->depth = rec.depth;
+      n->box = rec.box;
+      n->data = rec.data;
+      n->n_particles = rec.n_particles;
+      n->owner_subtree = rec.owner_subtree;
+      n->home_proc = rec.home_proc;
+      if (rec.type == NodeType::kLeaf) {
+        n->type = NodeType::kLeaf;
+        n->particles = out_block.particles.data() + rec.particles_offset;
+      } else if (rec.type == NodeType::kEmptyLeaf) {
+        n->type = NodeType::kEmptyLeaf;
+      } else {
+        n->n_children = rec.n_children;
+        n->type = rec.children_shipped ? NodeType::kInternal : NodeType::kRemote;
+      }
+      if (i > 0) {
+        made[static_cast<std::size_t>(rec.parent_index)]->setChild(
+            rec.child_slot, n);
+      }
+      stats_.nodes_inserted.fetch_add(1, std::memory_order_relaxed);
+    }
+    return made.empty() ? nullptr : made[0];
+  }
+
+  /// Shared-tree insertion (Fig 2, Steps 2-5): build privately, publish
+  /// with one atomic store, then resume the paused traversals.
+  void insertShared(const ResponseBlock<Data>& block, Node<Data>* ph) {
+    auto node_block = std::make_unique<NodeBlock>();
+    Node<Data>* fresh = materialize(block, *node_block, true);
+    assert(fresh != nullptr && fresh->key == ph->key);
+    {
+      std::lock_guard lock(blocks_mutex_);
+      blocks_.push_back(std::move(node_block));
+    }
+    // Step 4: swap the placeholder out of the tree. Parent links are
+    // atomic; concurrent readers see either the placeholder (and enqueue
+    // a waiter) or the fresh node. A placeholder with no parent is the
+    // degenerate single-Subtree case: the cache root itself is remote.
+    Node<Data>* parent = ph->parent;
+    if (parent == nullptr) {
+      root_.store(fresh, std::memory_order_release);
+    } else {
+      for (int c = 0; c < parent->n_children; ++c) {
+        if (parent->children[static_cast<std::size_t>(c)].load(
+                std::memory_order_relaxed) == ph) {
+          parent->setChild(c, fresh);
+          break;
+        }
+      }
+    }
+    // Step 5: resume paused traversals on this process's workers.
+    Waiter* w = ph->closeWaiters();
+    while (w != nullptr && w != kWaitersClosed) {
+      Waiter* next = w->next;
+      rt_->enqueue(proc_, std::move(w->resume));
+      delete w;
+      w = next;
+    }
+  }
+
+  void requestPerThread(Node<Data>* ph, std::function<void()> resume,
+                        int worker_slot) {
+    auto& wc = *worker_caches_[static_cast<std::size_t>(worker_slot)];
+    bool is_new = false;
+    {
+      std::lock_guard lock(wc.mutex);
+      WorkerEntry& entry = wc.entries[ph->key];
+      if (entry.filled) {
+        rt_->enqueue(proc_, std::move(resume));
+        return;
+      }
+      is_new = entry.waiters.empty();
+      entry.waiters.push_back(std::move(resume));
+    }
+    if (is_new) sendRequest(ph, worker_slot);
+  }
+
+  void insertPerThread(const ResponseBlock<Data>& block, int worker_slot) {
+    auto& wc = *worker_caches_[static_cast<std::size_t>(worker_slot)];
+    auto node_block = std::make_unique<NodeBlock>();
+    // Private copies never alias local subtree roots: sharing them would
+    // reintroduce the cross-thread sharing this model exists to avoid.
+    Node<Data>* fresh = materialize(block, *node_block, false);
+    std::vector<std::function<void()>> waiters;
+    {
+      std::lock_guard lock(wc.mutex);
+      wc.blocks.push_back(std::move(node_block));
+      WorkerEntry& entry = wc.entries[block.requested];
+      entry.filled = true;
+      entry.node = fresh;
+      waiters.swap(entry.waiters);
+    }
+    for (auto& resume : waiters) rt_->enqueue(proc_, std::move(resume));
+  }
+
+  rts::Runtime* rt_{nullptr};
+  int proc_{0};
+  Options opts_{};
+  std::deque<CacheManager>* all_caches_{nullptr};
+
+  NodeArena<Data> arena_;  ///< upper-tree nodes & placeholders
+  std::atomic<Node<Data>*> root_{nullptr};
+
+  std::mutex local_roots_mutex_;
+  std::unordered_map<Key, Node<Data>*> local_roots_;
+
+  std::mutex blocks_mutex_;
+  std::vector<std::unique_ptr<NodeBlock>> blocks_;
+
+  std::mutex xwrite_mutex_;
+
+  std::mutex inserter_mutex_;
+  std::deque<std::pair<std::shared_ptr<ResponseBlock<Data>>, Node<Data>*>>
+      inserter_queue_;
+  bool inserter_active_ = false;
+
+  std::vector<std::unique_ptr<WorkerCache>> worker_caches_;
+
+  Stats stats_;
+};
+
+}  // namespace paratreet

@@ -1,0 +1,24 @@
+#include "core/config.hpp"
+
+namespace paratreet {
+
+std::string toString(TreeType t) {
+  switch (t) {
+    case TreeType::eOct: return "oct";
+    case TreeType::eKd: return "kd";
+    case TreeType::eLongest: return "longest";
+  }
+  return "?";
+}
+
+std::string toString(CacheModel m) {
+  switch (m) {
+    case CacheModel::kWaitFree: return "WaitFree";
+    case CacheModel::kXWrite: return "XWrite";
+    case CacheModel::kPerThread: return "Sequential";
+    case CacheModel::kSingleInserter: return "SingleInserter";
+  }
+  return "?";
+}
+
+}  // namespace paratreet

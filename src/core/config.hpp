@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "decomp/decomposition.hpp"
+
+namespace paratreet {
+
+/// Tree types offered by the framework (paper Section II).
+enum class TreeType {
+  eOct,      ///< octree: 8 equal-volume octants per split
+  eKd,       ///< binary median splits, cycling dimensions
+  eLongest,  ///< binary median splits along the longest box side
+};
+
+std::string toString(TreeType t);
+
+/// Software-cache models compared in Fig 3. kWaitFree is the paper's
+/// contribution; the others are the baselines it is evaluated against.
+enum class CacheModel {
+  kWaitFree,        ///< single shared tree, atomic parallel reads & writes
+  kXWrite,          ///< shared tree, every insertion behind one process lock
+  kPerThread,       ///< per-worker private caches (the figure's "Sequential")
+  kSingleInserter,  ///< shared tree, insertions funneled through one worker
+};
+
+std::string toString(CacheModel m);
+
+/// Built-in load-balancing schemes selectable from the Configuration.
+enum class LbScheme {
+  kNone,    ///< keep block placement
+  kSfc,     ///< SFC-chunk remapping of measured load (ChaNGa's scheme)
+  kGreedy,  ///< greedy list scheduling of measured load
+};
+
+/// Run and performance parameters of a simulation, mirroring the paper's
+/// Configuration object (Section II.D.2). Applications fill this in
+/// Driver::configure().
+struct Configuration {
+  // --- problem setup -------------------------------------------------------
+  /// Optional snapshot to load particles from (util/snapshot.hpp format);
+  /// Driver::run() uses it when no particles are passed directly.
+  std::string input_file;
+  int num_iterations = 1;
+  std::uint64_t random_seed = 42;
+
+  // --- structure -----------------------------------------------------------
+  TreeType tree_type = TreeType::eOct;
+  DecompType decomp_type = DecompType::eSfc;
+  /// Minimum numbers of chares; actual counts may exceed (eOct rounding).
+  int min_partitions = 8;
+  int min_subtrees = 8;
+  /// Maximum particles per leaf bucket.
+  int bucket_size = 12;
+
+  // --- performance hyperparameters (Section II.D.2) ------------------------
+  /// Levels of tree shipped per cache-fill response ("number of nodes
+  /// fetched per request").
+  int fetch_depth = 3;
+  /// Extra top levels of each Subtree proactively broadcast to every
+  /// process along with the branch nodes.
+  int share_levels = 0;
+  CacheModel cache_model = CacheModel::kWaitFree;
+  /// Iterations between load-rebalance steps (0 = never); the Driver
+  /// rebalances with `lb_scheme` after every lb_period-th traversal.
+  int lb_period = 0;
+  LbScheme lb_scheme = LbScheme::kSfc;
+
+  /// Bits per tree level implied by tree_type (3 for octrees, 1 for the
+  /// binary trees).
+  int bitsPerLevel() const { return tree_type == TreeType::eOct ? 3 : 1; }
+
+  /// The tree-consistent decomposition used for Subtrees.
+  DecompType subtreeDecomp() const {
+    switch (tree_type) {
+      case TreeType::eOct: return DecompType::eOct;
+      case TreeType::eKd: return DecompType::eKd;
+      case TreeType::eLongest: return DecompType::eLongest;
+    }
+    return DecompType::eOct;
+  }
+};
+
+}  // namespace paratreet

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "core/forest.hpp"
+#include "util/snapshot.hpp"
+
+namespace paratreet {
+
+/// Call `fn` with a default-constructed tree-type policy matching the
+/// runtime `TreeType` value; lets benchmarks and drivers select the tree
+/// type from configuration while the traversal code stays statically
+/// typed (the paper's class-template technique).
+template <typename Fn>
+decltype(auto) dispatchTreeType(TreeType t, Fn&& fn) {
+  switch (t) {
+    case TreeType::eOct: return fn(OctTreeType{});
+    case TreeType::eKd: return fn(KdTreeType{});
+    case TreeType::eLongest: return fn(LongestDimTreeType{});
+  }
+  return fn(OctTreeType{});
+}
+
+/// The application entry point, mirroring the paper's Fig 8: subclass,
+/// fill the Configuration in configure(), kick off traversals in
+/// traversal() via startDown<Visitor>() / startUpAndDown<Visitor>(), and
+/// do per-iteration physics in postTraversal().
+///
+/// `Data` is the application's tree-node summary (the Data abstraction)
+/// and `TreeTypeT` its tree policy (octree by default, overridable for
+/// e.g. the longest-dimension disk tree).
+template <typename Data, typename TreeTypeT = OctTreeType>
+class Driver {
+ public:
+  virtual ~Driver() = default;
+
+  /// Set run parameters; called once before the first iteration.
+  virtual void configure(Configuration& conf) = 0;
+  /// Launch this iteration's traversals.
+  virtual void traversal(int iter) = 0;
+  /// Work after the traversal (integration, collisions, output, ...).
+  virtual void postTraversal(int iter) { (void)iter; }
+
+  /// Run the configured number of iterations over `particles`. When
+  /// `particles` is empty and the Configuration names an input_file, the
+  /// particles are loaded from that snapshot (paper Fig 8's
+  /// conf.input_file).
+  void run(rts::Runtime& rt, std::vector<Particle> particles,
+           rts::ActivityProfiler* profiler = nullptr) {
+    Configuration conf;
+    configure(conf);
+    if (particles.empty() && !conf.input_file.empty()) {
+      particles = makeParticles(loadSnapshot(conf.input_file));
+    }
+    forest_ = std::make_unique<Forest<Data, TreeTypeT>>(rt, conf, profiler);
+    forest_->load(std::move(particles));
+    forest_->decompose();
+    for (int iter = 0; iter < conf.num_iterations; ++iter) {
+      forest_->build();
+      traversal(iter);
+      postTraversal(iter);
+      // Periodic measured-load rebalancing (paper Section II.D.1/2: the
+      // "load balancing period" run parameter).
+      if (conf.lb_period > 0 && conf.lb_scheme != LbScheme::kNone &&
+          (iter + 1) % conf.lb_period == 0) {
+        if (conf.lb_scheme == LbScheme::kSfc) {
+          SfcLoadBalancer lb;
+          forest_->rebalance(lb);
+        } else {
+          GreedyLoadBalancer lb;
+          forest_->rebalance(lb);
+        }
+      }
+      if (iter + 1 < conf.num_iterations) forest_->flush();
+    }
+  }
+
+  /// The engine; valid during and after run().
+  Forest<Data, TreeTypeT>& forest() { return *forest_; }
+  const Forest<Data, TreeTypeT>& forest() const { return *forest_; }
+
+ protected:
+  /// Start a top-down traversal over all Partitions (paper:
+  /// partitions().startDown<Visitor>()).
+  template <typename Visitor>
+  void startDown(Visitor v = {},
+                 TraversalStyle style = TraversalStyle::kTransposed) {
+    forest_->template traverse<Visitor>(std::move(v), style);
+  }
+
+  /// Start an up-and-down traversal over all Partitions.
+  template <typename Visitor>
+  void startUpAndDown(Visitor v = {}) {
+    forest_->template traverseUpAndDown<Visitor>(std::move(v));
+  }
+
+ private:
+  std::unique_ptr<Forest<Data, TreeTypeT>> forest_;
+};
+
+}  // namespace paratreet

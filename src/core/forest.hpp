@@ -1,0 +1,497 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <deque>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "core/config.hpp"
+#include "core/dual_tree.hpp"
+#include "core/load_balancer.hpp"
+#include "core/partition.hpp"
+#include "core/priority_traversal.hpp"
+#include "core/subtree.hpp"
+#include "core/traversal.hpp"
+#include "decomp/decomposition.hpp"
+#include "rts/profiler.hpp"
+#include "rts/runtime.hpp"
+#include "tree/tree_types.hpp"
+#include "tree/validate.hpp"
+#include "util/distributions.hpp"
+#include "util/timer.hpp"
+
+namespace paratreet {
+
+/// Convert InitialConditions into framework particles.
+inline std::vector<Particle> makeParticles(const InitialConditions& ic) {
+  std::vector<Particle> ps(ic.size());
+  for (std::size_t i = 0; i < ic.size(); ++i) {
+    ps[i].position = ic.positions[i];
+    ps[i].velocity = ic.velocities.empty() ? Vec3{} : ic.velocities[i];
+    ps[i].mass = ic.masses.empty() ? 0.0 : ic.masses[i];
+    ps[i].ball_radius = ic.radii.empty() ? 0.0 : ic.radii[i];
+    ps[i].order = static_cast<std::int32_t>(i);
+  }
+  return ps;
+}
+
+/// Wall-clock spent in each phase of an iteration.
+struct PhaseTimes {
+  double decompose = 0.0;
+  double build = 0.0;        ///< tree build + cache setup + leaf sharing
+  double leaf_share = 0.0;   ///< subset of build: the leaf-sharing step
+  double traverse = 0.0;
+
+  PhaseTimes& operator+=(const PhaseTimes& o) {
+    decompose += o.decompose;
+    build += o.build;
+    leaf_share += o.leaf_share;
+    traverse += o.traverse;
+    return *this;
+  }
+};
+
+/// The distributed forest: Subtrees + Partitions + per-process caches,
+/// bound to a Runtime. This is the engine under the user-facing Driver.
+///
+/// An iteration proceeds: decompose() -> build() -> traverse<V>() -> user
+/// post-processing -> flush(). decompose() assigns particles to
+/// Partitions (by the configured decomposition) and to Subtrees (by the
+/// tree-consistent decomposition) *independently* — the
+/// Partitions-Subtrees model. build() builds each Subtree's local tree,
+/// assembles the replicated upper tree on every process, and shares leaf
+/// buckets with Partitions, splitting only the buckets whose particles
+/// span Partition boundaries (never root paths).
+template <typename Data, typename TreeTypeT>
+class Forest {
+ public:
+  Forest(rts::Runtime& rt, Configuration conf,
+         rts::ActivityProfiler* profiler = nullptr)
+      : rt_(rt), conf_(std::move(conf)), profiler_(profiler) {}
+
+  const Configuration& config() const { return conf_; }
+  rts::Runtime& runtime() { return rt_; }
+  const OrientedBox& universe() const { return universe_; }
+  int numPartitions() const { return static_cast<int>(partitions_.size()); }
+  int numSubtrees() const { return static_cast<int>(subtrees_.size()); }
+  Partition<Data>& partition(int i) {
+    return *partitions_[static_cast<std::size_t>(i)];
+  }
+  Subtree<Data>& subtree(int i) { return *subtrees_[static_cast<std::size_t>(i)]; }
+  CacheManager<Data>& cache(int proc) {
+    return caches_[static_cast<std::size_t>(proc)];
+  }
+  const PhaseTimes& phaseTimes() const { return times_; }
+  void resetPhaseTimes() { times_ = {}; }
+
+  /// Buckets that had to be split across Partitions in the last build
+  /// (the Fig 5 case).
+  std::size_t splitBucketCount() const { return split_buckets_.load(); }
+
+  /// Take ownership of the particle set.
+  void load(std::vector<Particle> particles) {
+    particles_ = std::move(particles);
+  }
+  std::size_t particleCount() const { return particles_.size(); }
+
+  /// Assign every particle a Partition (load) and a Subtree (memory),
+  /// then scatter particles to their Subtrees. The two decompositions are
+  /// independent; the library optimizes placement so equal splitters
+  /// colocate Partition i with Subtree i.
+  void decompose() {
+    WallTimer timer;
+    universe_ = OrientedBox{};
+    for (const auto& p : particles_) universe_.grow(p.position);
+    // Pad so particles on the boundary stay strictly inside (keys clamp).
+    const Vec3 pad = universe_.size() * 1e-9 + Vec3(1e-12);
+    universe_.grow(universe_.greater_corner + pad);
+    universe_.grow(universe_.lesser_corner - pad);
+    assignKeys(particles_, universe_);
+
+    partition_decomp_ = makeDecomposition(conf_.decomp_type);
+    const int n_parts = partition_decomp_->findSplitters(
+        std::span<Particle>(particles_), universe_, conf_.min_partitions,
+        Decomposition::Target::kPartition);
+    subtree_decomp_ = makeDecomposition(conf_.subtreeDecomp());
+    const int n_subtrees = subtree_decomp_->findSplitters(
+        std::span<Particle>(particles_), universe_, conf_.min_subtrees,
+        Decomposition::Target::kSubtree);
+    auto regions = subtree_decomp_->regions();
+    assert(static_cast<int>(regions.size()) == n_subtrees);
+
+    partitions_.clear();
+    const bool keep_placement =
+        static_cast<int>(placement_override_.size()) == n_parts;
+    for (int i = 0; i < n_parts; ++i) {
+      auto part = std::make_unique<Partition<Data>>();
+      part->index = i;
+      part->home_proc = keep_placement
+                            ? placement_override_[static_cast<std::size_t>(i)]
+                            : placeOf(i, n_parts);
+      partitions_.push_back(std::move(part));
+    }
+    if (!keep_placement) placement_override_.clear();
+    subtrees_.clear();
+    for (int i = 0; i < n_subtrees; ++i) {
+      auto st = std::make_unique<Subtree<Data>>();
+      st->index = i;
+      st->home_proc = placeOf(i, n_subtrees);
+      st->region = regions[static_cast<std::size_t>(i)];
+      subtrees_.push_back(std::move(st));
+    }
+    for (const auto& p : particles_) {
+      subtrees_[static_cast<std::size_t>(p.subtree)]->particles.push_back(p);
+    }
+    times_.decompose += timer.seconds();
+  }
+
+  /// Tree build + cache setup + leaf sharing, all on the workers.
+  /// Idempotent per decomposition: re-building clears the previous
+  /// build's buckets and caches first.
+  void build() {
+    WallTimer timer;
+    split_buckets_ = 0;
+    for (auto& pp : partitions_) {
+      pp->clear();
+      pp->measured_load = 0.0;
+    }
+    caches_.clear();
+    caches_.resize(static_cast<std::size_t>(rt_.numProcs()));
+    typename CacheManager<Data>::Options copts;
+    copts.model = conf_.cache_model;
+    copts.fetch_depth = conf_.fetch_depth;
+    copts.bits_per_level = conf_.bitsPerLevel();
+    copts.profiler = profiler_;
+    for (int p = 0; p < rt_.numProcs(); ++p) {
+      caches_[static_cast<std::size_t>(p)].init(&rt_, p, copts, &caches_);
+    }
+
+    // 1. Each Subtree builds its local tree and registers its root in the
+    //    process-level hash table (locked inserts, build phase only).
+    for (auto& stp : subtrees_) {
+      Subtree<Data>* st = stp.get();
+      rt_.enqueue(st->home_proc, [this, st] {
+        rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+        st->build(tree_type_, conf_.bucket_size);
+        caches_[static_cast<std::size_t>(st->home_proc)].insertLocalRoot(
+            st->root->key, st->root);
+      });
+    }
+    rt_.drain();
+
+    // 2. Broadcast root records; every process assembles the upper tree.
+    std::vector<RootRecord<Data>> records;
+    records.reserve(subtrees_.size());
+    for (const auto& st : subtrees_) records.push_back(st->rootRecord());
+    const std::size_t bytes = records.size() * sizeof(RootRecord<Data>);
+    for (int p = 0; p < rt_.numProcs(); ++p) {
+      rt_.send(0, p, p == 0 ? 0 : bytes, [this, p, records] {
+        rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+        caches_[static_cast<std::size_t>(p)].buildUpperTree(records, universe_);
+      });
+    }
+    rt_.drain();
+
+    // 2b. Proactive branch sharing (Configuration::share_levels): each
+    //     Subtree broadcasts its top levels so traversals start with them
+    //     cached, trading build-time bytes for traversal-time fetches.
+    if (conf_.share_levels > 0) {
+      const int levels = conf_.share_levels;
+      for (auto& stp : subtrees_) {
+        Subtree<Data>* st = stp.get();
+        rt_.enqueue(st->home_proc, [this, st, levels] {
+          rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+          auto block = std::make_shared<ResponseBlock<Data>>(
+              serializeRegion(st->root, levels));
+          for (int p = 0; p < rt_.numProcs(); ++p) {
+            if (p == st->home_proc) continue;
+            rt_.send(st->home_proc, p, block->byteSize(), [this, p, block] {
+              rts::ActivityScope insert_scope(profiler_,
+                                              rts::Activity::kTreeBuild);
+              caches_[static_cast<std::size_t>(p)].preload(*block);
+            });
+          }
+        });
+      }
+      rt_.drain();
+    }
+
+    // 3. Leaf sharing: Subtrees hand their buckets to Partitions,
+    //    splitting only the buckets whose particles span Partitions.
+    WallTimer share_timer;
+    for (auto& stp : subtrees_) {
+      Subtree<Data>* st = stp.get();
+      rt_.enqueue(st->home_proc, [this, st] {
+        rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+        shareLeaves(*st);
+      });
+    }
+    rt_.drain();
+    times_.leaf_share += share_timer.seconds();
+    times_.build += timer.seconds();
+  }
+
+  /// Run a top-down traversal with visitor `V` over every Partition and
+  /// wait for global completion (quiescence).
+  template <typename V>
+  void traverse(V visitor = {},
+                TraversalStyle style = TraversalStyle::kTransposed) {
+    WallTimer timer;
+    std::vector<std::unique_ptr<TraverserBase>> traversers;
+    traversers.reserve(partitions_.size());
+    for (auto& pp : partitions_) {
+      Partition<Data>* part = pp.get();
+      auto trav = std::make_unique<TopDownTraverser<Data, V>>(
+          *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
+          visitor, style, profiler_);
+      auto* raw = trav.get();
+      traversers.push_back(std::move(trav));
+      rt_.enqueue(part->home_proc, [raw] { raw->start(); });
+    }
+    rt_.drain();
+    times_.traverse += timer.seconds();
+  }
+
+  /// Run an up-and-down traversal (k-nearest-neighbour style).
+  template <typename V>
+  void traverseUpAndDown(V visitor = {}) {
+    WallTimer timer;
+    std::vector<std::unique_ptr<TraverserBase>> traversers;
+    traversers.reserve(partitions_.size());
+    for (auto& pp : partitions_) {
+      Partition<Data>* part = pp.get();
+      auto trav = std::make_unique<UpAndDownTraverser<Data, V>>(
+          *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
+          visitor, profiler_);
+      auto* raw = trav.get();
+      traversers.push_back(std::move(trav));
+      rt_.enqueue(part->home_proc, [raw] { raw->start(); });
+    }
+    rt_.drain();
+    times_.traverse += timer.seconds();
+  }
+
+  /// Run a dual-tree traversal with visitor `V` (cell()-driven) over
+  /// every Partition and wait for completion.
+  template <typename V>
+  void traverseDualTree(V visitor = {}) {
+    WallTimer timer;
+    std::vector<std::unique_ptr<TraverserBase>> traversers;
+    traversers.reserve(partitions_.size());
+    for (auto& pp : partitions_) {
+      Partition<Data>* part = pp.get();
+      auto trav = std::make_unique<DualTreeTraverser<Data, V>>(
+          *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
+          visitor, profiler_);
+      auto* raw = trav.get();
+      traversers.push_back(std::move(trav));
+      rt_.enqueue(part->home_proc, [raw] { raw->start(); });
+    }
+    rt_.drain();
+    times_.traverse += timer.seconds();
+  }
+
+  /// Run a best-first (priority-driven) traversal with visitor `V` over
+  /// every Partition — the user-extensible Traverser interface the paper
+  /// describes for e.g. ray tracing.
+  template <typename V>
+  void traversePriority(V visitor = {}) {
+    WallTimer timer;
+    std::vector<std::unique_ptr<TraverserBase>> traversers;
+    traversers.reserve(partitions_.size());
+    for (auto& pp : partitions_) {
+      Partition<Data>* part = pp.get();
+      auto trav = std::make_unique<PriorityTraverser<Data, V>>(
+          *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
+          visitor, profiler_);
+      auto* raw = trav.get();
+      traversers.push_back(std::move(trav));
+      rt_.enqueue(part->home_proc, [raw] { raw->start(); });
+    }
+    rt_.drain();
+    times_.traverse += timer.seconds();
+  }
+
+  /// Measured traversal load of every Partition (seconds, last
+  /// iteration), in Partition-index order.
+  std::vector<double> partitionLoads() const {
+    std::vector<double> loads;
+    loads.reserve(partitions_.size());
+    for (const auto& pp : partitions_) loads.push_back(pp->measured_load);
+    return loads;
+  }
+
+  /// Remap Partitions onto processes from the loads measured in the last
+  /// traversal (paper Section II.D.1: chares are migratable, so work can
+  /// be redistributed between iterations). The placement persists across
+  /// flush()/decompose() as long as the partition count is unchanged.
+  /// Returns the predicted imbalance (max/ideal) of the new placement.
+  double rebalance(LoadBalancer& lb) {
+    const auto loads = partitionLoads();
+    placement_override_ = lb.assign(loads, rt_.numProcs());
+    for (std::size_t i = 0; i < partitions_.size(); ++i) {
+      partitions_[i]->home_proc = placement_override_[i];
+    }
+    return LoadBalancer::imbalance(loads, placement_override_, rt_.numProcs());
+  }
+
+  /// Current imbalance of measured load across processes (1.0 = ideal).
+  double measuredImbalance() const {
+    std::vector<int> placement;
+    placement.reserve(partitions_.size());
+    for (const auto& pp : partitions_) placement.push_back(pp->home_proc);
+    return LoadBalancer::imbalance(partitionLoads(), placement,
+                                   rt_.numProcs());
+  }
+
+  /// Apply `fn` to every particle held by the Partitions (the writable
+  /// copies carrying this iteration's results). Runs in parallel, one
+  /// task per partition on its home process.
+  template <typename Fn>
+  void forEachParticle(Fn fn) {
+    for (auto& pp : partitions_) {
+      Partition<Data>* part = pp.get();
+      rt_.enqueue(part->home_proc, [part, fn] { part->forEachParticle(fn); });
+    }
+    rt_.drain();
+  }
+
+  /// Gather all particles (in input `order`) with their traversal results.
+  std::vector<Particle> collect() const {
+    std::vector<Particle> out(particles_.size());
+    for (const auto& pp : partitions_) {
+      for (const auto& b : pp->buckets) {
+        for (const auto& p : b.particles) {
+          out[static_cast<std::size_t>(p.order)] = p;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Write every particle's acceleration and potential (CSV, in `order`
+  /// layout) — the paper's partitions().outputParticleAccelerations().
+  void outputParticleAccelerations(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for writing: " + path);
+    out << "# order ax ay az potential\n";
+    for (const auto& p : collect()) {
+      out << p.order << ' ' << p.acceleration.x << ' ' << p.acceleration.y
+          << ' ' << p.acceleration.z << ' ' << p.potential << '\n';
+    }
+    if (!out) throw std::runtime_error("write failed: " + path);
+  }
+
+  /// End-of-iteration flush (paper Section II.D.1): pull the updated
+  /// particles back from the Partitions, clear per-iteration outputs, and
+  /// re-run decomposition so the next build sees the new positions.
+  void flush() {
+    particles_ = collect();
+    for (auto& p : particles_) {
+      p.acceleration = Vec3{};
+      p.potential = 0.0;
+      p.density = 0.0;
+      p.pressure = 0.0;
+      p.collision_partner = -1;
+      p.collision_time = 0.0;
+      p.neighbor_count = 0;
+      p.ball2 = 0.0;
+    }
+    decompose();
+  }
+
+  /// Sum cache statistics across processes (after a traversal).
+  typename CacheManager<Data>::StatsSnapshot cacheStatsTotal() const {
+    typename CacheManager<Data>::StatsSnapshot total;
+    for (const auto& c : caches_) total += c.stats();
+    return total;
+  }
+
+  /// Total cached node copies across processes (memory footprint).
+  std::size_t cachedNodeCount() const {
+    std::size_t n = 0;
+    for (const auto& c : caches_) n += c.cachedNodeCount();
+    return n;
+  }
+
+  /// Validate every local subtree's structure (tests/debugging).
+  std::string validate() const {
+    for (const auto& st : subtrees_) {
+      if (auto err = validateTree(st->root); !err.empty()) return err;
+    }
+    return {};
+  }
+
+ private:
+  /// Block placement of chare `i` of `n` onto processes.
+  int placeOf(int i, int n) const {
+    const int procs = rt_.numProcs();
+    return static_cast<int>(static_cast<long>(i) * procs / n);
+  }
+
+  /// Share one Subtree's leaves with the Partitions its particles belong
+  /// to (Fig 4 step 3 / Fig 5). Runs on the Subtree's home process.
+  void shareLeaves(Subtree<Data>& st) {
+    forEachLeaf(st.root, [&](Node<Data>* leaf) {
+      if (leaf->type != NodeType::kLeaf) return;
+      // Group the bucket's particles by target Partition. Most buckets
+      // map to a single Partition; only boundary buckets split.
+      std::map<std::int32_t, std::vector<Particle>> by_part;
+      for (int i = 0; i < leaf->n_particles; ++i) {
+        const Particle& p = leaf->particles[i];
+        by_part[p.partition].push_back(p);
+      }
+      if (by_part.size() > 1) {
+        split_buckets_.fetch_add(by_part.size() - 1, std::memory_order_relaxed);
+      }
+      for (auto& [part_idx, parts] : by_part) {
+        Bucket<Data> bucket;
+        bucket.leaf_key = leaf->key;
+        bucket.box = leaf->box;
+        bucket.data = Data(parts.data(), static_cast<int>(parts.size()));
+        bucket.particles = std::move(parts);
+        Partition<Data>& target =
+            *partitions_[static_cast<std::size_t>(part_idx)];
+        if (target.home_proc == st.home_proc) {
+          // Same process: pass directly (by pointer in the paper; the
+          // bucket copy here is the writable target storage either way).
+          target.addBucket(std::move(bucket));
+        } else {
+          const std::size_t bytes = sizeof(Bucket<Data>) +
+                                    bucket.particles.size() * sizeof(Particle);
+          auto shared = std::make_shared<Bucket<Data>>(std::move(bucket));
+          Partition<Data>* tp = &target;
+          rt_.send(st.home_proc, target.home_proc, bytes, [tp, shared] {
+            tp->addBucket(std::move(*shared));
+          });
+        }
+      }
+    });
+  }
+
+  rts::Runtime& rt_;
+  Configuration conf_;
+  rts::ActivityProfiler* profiler_;
+  TreeTypeT tree_type_{};
+
+  OrientedBox universe_{};
+  std::vector<Particle> particles_;
+  std::unique_ptr<Decomposition> partition_decomp_;
+  std::unique_ptr<Decomposition> subtree_decomp_;
+  std::vector<std::unique_ptr<Partition<Data>>> partitions_;
+  std::vector<std::unique_ptr<Subtree<Data>>> subtrees_;
+  std::deque<CacheManager<Data>> caches_;
+
+  PhaseTimes times_{};
+  std::atomic<std::size_t> split_buckets_{0};
+  std::vector<int> placement_override_;
+};
+
+}  // namespace paratreet

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace paratreet {
+
+/// Assigns chares (Partitions) to processes from measured per-chare
+/// loads, mirroring Charm++'s pluggable load-balancing schemes that
+/// ParaTreeT inherits (paper Section II.D.1). `loads[i]` is the measured
+/// cost of chare i from the last iteration; the result maps each chare to
+/// a process.
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+  virtual std::vector<int> assign(const std::vector<double>& loads,
+                                  int n_procs) = 0;
+
+  /// Max-over-procs of summed load divided by the ideal (total/n_procs):
+  /// 1.0 is perfect balance. Utility for tests and benches.
+  static double imbalance(const std::vector<double>& loads,
+                          const std::vector<int>& placement, int n_procs) {
+    std::vector<double> per_proc(static_cast<std::size_t>(n_procs), 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      per_proc[static_cast<std::size_t>(placement[i])] += loads[i];
+      total += loads[i];
+    }
+    const double ideal = total / n_procs;
+    const double max = *std::max_element(per_proc.begin(), per_proc.end());
+    return ideal > 0.0 ? max / ideal : 1.0;
+  }
+};
+
+/// Greedy list scheduling: heaviest chare first onto the least-loaded
+/// process. Best balance, but ignores locality entirely — migrated
+/// chares land anywhere (Charm++'s GreedyLB).
+class GreedyLoadBalancer final : public LoadBalancer {
+ public:
+  std::vector<int> assign(const std::vector<double>& loads,
+                          int n_procs) override {
+    assert(n_procs > 0);
+    std::vector<std::size_t> order(loads.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return loads[a] > loads[b];
+    });
+    std::vector<double> proc_load(static_cast<std::size_t>(n_procs), 0.0);
+    std::vector<int> placement(loads.size(), 0);
+    for (std::size_t idx : order) {
+      const auto target = static_cast<int>(
+          std::min_element(proc_load.begin(), proc_load.end()) -
+          proc_load.begin());
+      placement[idx] = target;
+      proc_load[static_cast<std::size_t>(target)] += loads[idx];
+    }
+    return placement;
+  }
+};
+
+/// Space-filling-curve load balancing (the scheme the paper adopts from
+/// ChaNGa): chares stay in index order — which follows the SFC for SFC
+/// decompositions — and the load-weighted curve is cut into contiguous
+/// chunks, one per process. Preserves locality: neighbours on the curve
+/// stay on the same or adjacent processes.
+class SfcLoadBalancer final : public LoadBalancer {
+ public:
+  std::vector<int> assign(const std::vector<double>& loads,
+                          int n_procs) override {
+    assert(n_procs > 0);
+    const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+    std::vector<int> placement(loads.size(), 0);
+    if (total <= 0.0) {
+      // No load information: block placement.
+      for (std::size_t i = 0; i < loads.size(); ++i) {
+        placement[i] = static_cast<int>(i * static_cast<std::size_t>(n_procs) /
+                                        std::max<std::size_t>(loads.size(), 1));
+      }
+      return placement;
+    }
+    // Cut the cumulative-load curve at total/n_procs boundaries.
+    double cumulative = 0.0;
+    const double chunk = total / n_procs;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      // Assign by the midpoint of this chare's load interval, so a chare
+      // straddling a boundary goes to the side holding most of it.
+      const double mid = cumulative + 0.5 * loads[i];
+      auto proc = static_cast<int>(mid / chunk);
+      placement[i] = std::min(proc, n_procs - 1);
+      cumulative += loads[i];
+    }
+    return placement;
+  }
+};
+
+}  // namespace paratreet

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/node.hpp"
+#include "tree/particle.hpp"
+
+namespace paratreet {
+
+/// Wire format of one tree node inside a cache-fill response. Every
+/// record carries the node's summary Data so the receiver can evaluate
+/// open() on it without a further fetch; `children_shipped` is false for
+/// records on the response frontier, which the receiver materializes as
+/// requestable placeholders-with-data.
+template <typename Data>
+struct NodeRecord {
+  Key key{};
+  NodeType type{NodeType::kEmptyLeaf};
+  std::int16_t depth{0};
+  std::int16_t n_children{0};
+  OrientedBox box{};
+  Data data{};
+  int n_particles{0};
+  std::int32_t owner_subtree{-1};
+  std::int32_t home_proc{-1};
+  /// Index of the parent record within the response (-1 for the first).
+  std::int32_t parent_index{-1};
+  /// Child slot of this record in its parent.
+  std::int8_t child_slot{0};
+  /// True if this record's children are also records in the response.
+  bool children_shipped{false};
+  /// For shipped leaves: range into ResponseBlock::particles.
+  std::int32_t particles_offset{-1};
+  std::int32_t particles_count{0};
+};
+
+/// A cache-fill response: the requested node plus `fetch_depth` levels of
+/// its descendants, with bucket particles for any shipped leaves
+/// (paper Fig 2, Step 1). Logical processes share an address space here,
+/// so "serialization" is a flat copy; byteSize() is what would cross the
+/// network and is what the communication-volume statistics count.
+template <typename Data>
+struct ResponseBlock {
+  Key requested{};
+  std::vector<NodeRecord<Data>> records;
+  std::vector<Particle> particles;
+
+  std::size_t byteSize() const {
+    return sizeof(Key) + records.size() * sizeof(NodeRecord<Data>) +
+           particles.size() * sizeof(Particle);
+  }
+};
+
+/// Serialize the region rooted at `from` down to `fetch_depth` levels
+/// below it. Runs on the home process of the data (Fig 2, Step 1).
+template <typename Data>
+ResponseBlock<Data> serializeRegion(const Node<Data>* from, int fetch_depth) {
+  ResponseBlock<Data> block;
+  block.requested = from->key;
+
+  struct Item {
+    const Node<Data>* node;
+    std::int32_t parent_index;
+    std::int8_t child_slot;
+    int rel_depth;
+  };
+  std::vector<Item> queue{{from, -1, 0, 0}};
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const Item item = queue[i];
+    const Node<Data>* n = item.node;
+    NodeRecord<Data> rec;
+    rec.key = n->key;
+    rec.depth = n->depth;
+    rec.n_children = n->n_children;
+    rec.box = n->box;
+    rec.data = n->data;
+    rec.n_particles = n->n_particles;
+    rec.owner_subtree = n->owner_subtree;
+    rec.home_proc = n->home_proc;
+    rec.parent_index = item.parent_index;
+    rec.child_slot = item.child_slot;
+    if (n->type == NodeType::kLeaf) {
+      rec.type = NodeType::kLeaf;
+      rec.particles_offset = static_cast<std::int32_t>(block.particles.size());
+      rec.particles_count = n->n_particles;
+      block.particles.insert(block.particles.end(), n->particles,
+                             n->particles + n->n_particles);
+    } else if (n->type == NodeType::kEmptyLeaf) {
+      rec.type = NodeType::kEmptyLeaf;
+    } else {
+      rec.type = NodeType::kInternal;
+      rec.children_shipped = item.rel_depth < fetch_depth;
+      if (rec.children_shipped) {
+        const auto self = static_cast<std::int32_t>(block.records.size());
+        for (int c = 0; c < n->n_children; ++c) {
+          queue.push_back({n->child(c), self, static_cast<std::int8_t>(c),
+                           item.rel_depth + 1});
+        }
+      }
+    }
+    block.records.push_back(rec);
+  }
+  return block;
+}
+
+/// The root summary of one Subtree, broadcast to every process after tree
+/// build so the replicated upper tree can be assembled (the paper's
+/// branch-node sharing).
+template <typename Data>
+struct RootRecord {
+  Key key{};
+  int depth{0};
+  NodeType type{NodeType::kEmptyLeaf};  ///< kInternal / kLeaf / kEmptyLeaf at home
+  OrientedBox box{};
+  Data data{};
+  int n_particles{0};
+  std::int32_t owner_subtree{-1};
+  std::int32_t home_proc{-1};
+};
+
+}  // namespace paratreet

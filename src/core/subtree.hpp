@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "core/serialization.hpp"
+#include "decomp/decomposition.hpp"
+#include "tree/arena.hpp"
+#include "tree/builder.hpp"
+#include "tree/node.hpp"
+
+namespace paratreet {
+
+/// A Subtree chare: owns one tree-consistent region of the spatial
+/// domain — the particles inside it and the local tree over them (the
+/// "memory" side of the Partitions-Subtrees model). Subtrees build their
+/// local trees independently; only root summaries are exchanged, so no
+/// branch-node merging is ever needed.
+template <typename Data>
+struct Subtree {
+  int index{0};
+  int home_proc{0};
+  SubtreeRegion region{};
+  std::vector<Particle> particles;
+  NodeArena<Data> arena;
+  Node<Data>* root{nullptr};
+
+  /// Build the local tree over the region's particles. Runs on one worker
+  /// of the home process.
+  template <typename TreeTypeT>
+  void build(const TreeTypeT& tree_type, int bucket_size) {
+    arena.clear();
+    tree_type.prepare(std::span<Particle>(particles));
+    BuildOptions opts;
+    opts.bucket_size = bucket_size;
+    opts.owner_subtree = index;
+    opts.home_proc = home_proc;
+    root = buildSubtree<Data>(tree_type, arena, std::span<Particle>(particles),
+                              region.key, region.box, region.depth, opts);
+  }
+
+  /// The root summary broadcast to every process after the build.
+  RootRecord<Data> rootRecord() const {
+    RootRecord<Data> rec;
+    rec.key = root->key;
+    rec.depth = root->depth;
+    rec.type = root->type == NodeType::kInternal ? NodeType::kInternal
+               : root->type == NodeType::kLeaf   ? NodeType::kLeaf
+                                                 : NodeType::kEmptyLeaf;
+    rec.box = root->box;
+    rec.data = root->data;
+    rec.n_particles = root->n_particles;
+    rec.owner_subtree = index;
+    rec.home_proc = home_proc;
+    return rec;
+  }
+};
+
+}  // namespace paratreet

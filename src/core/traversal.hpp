@@ -1,0 +1,319 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/cache.hpp"
+#include "core/partition.hpp"
+#include "util/timer.hpp"
+#include "rts/profiler.hpp"
+#include "rts/runtime.hpp"
+#include "tree/node.hpp"
+#include "util/small_vector.hpp"
+
+namespace paratreet {
+
+/// Visitor concept (paper Section II.A.2): a type V usable by the
+/// traversers must provide, for S = const SpatialNode<Data>& and
+/// T = SpatialNode<Data>&:
+///   bool open(S source, T target)  — descend under source for target?
+///   void node(S source, T target)  — source pruned: consume its summary
+///   void leaf(S source, T target)  — source is an opened leaf
+/// These are resolved statically (class template), so the compiler inlines
+/// them into the traversal loops — the paper's "performance with
+/// generality" technique.
+
+/// Type-erased base so the Driver can keep heterogeneous traversers alive
+/// until the iteration drains.
+class TraverserBase {
+ public:
+  virtual ~TraverserBase() = default;
+};
+
+/// How a top-down traversal iterates (Fig 10's ablation):
+enum class TraversalStyle {
+  /// GPU-style loop transposition: each tree node is processed against
+  /// every target bucket before moving on — the locality-enhancing order
+  /// ParaTreeT uses on CPUs.
+  kTransposed,
+  /// Classic depth-first walk of the whole tree once per bucket
+  /// (the paper's "BasicTrav" baseline).
+  kPerBucket,
+};
+
+/// List of target bucket indices a traversal frontier carries.
+using TargetList = SmallVector<std::uint32_t, 8>;
+
+/// Accumulates the enclosing scope's wall time into a Partition's
+/// measured load. Construct *after* taking the partition's run_mutex so
+/// lock waiting is not billed as work.
+template <typename Data>
+class LoadScope {
+ public:
+  explicit LoadScope(Partition<Data>& partition) : partition_(partition) {}
+  ~LoadScope() { partition_.measured_load += timer_.seconds(); }
+
+ private:
+  Partition<Data>& partition_;
+  WallTimer timer_;
+};
+
+/// Find a node's child holding `key` (used to re-locate a fetched node
+/// after its placeholder was swapped out).
+template <typename Data>
+Node<Data>* findChildByKey(Node<Data>* parent, Key key) {
+  for (int c = 0; c < parent->n_children; ++c) {
+    Node<Data>* child = parent->child(c);
+    if (child != nullptr && child->key == key) return child;
+  }
+  return nullptr;
+}
+
+/// The top-down traverser: starts at the global root and walks depth
+/// first onto unpruned children. Remote nodes pause the affected targets
+/// and the traversal continues elsewhere; the cache resumes them when the
+/// data lands (relaxed depth-first order, as in the paper).
+template <typename Data, typename Visitor>
+class TopDownTraverser final : public TraverserBase {
+ public:
+  TopDownTraverser(Partition<Data>& partition, CacheManager<Data>& cache,
+                   rts::Runtime& rt, Visitor visitor = {},
+                   TraversalStyle style = TraversalStyle::kTransposed,
+                   rts::ActivityProfiler* profiler = nullptr)
+      : partition_(partition), cache_(cache), rt_(rt),
+        visitor_(std::move(visitor)), style_(style), profiler_(profiler) {}
+
+  /// Seed the traversal; must run on a worker of the partition's process.
+  void start() {
+    rts::ActivityScope scope(profiler_, rts::Activity::kLocalTraversal);
+    std::lock_guard run(partition_.run_mutex);
+    LoadScope<Data> load(partition_);
+    Node<Data>* root = cache_.root();
+    if (style_ == TraversalStyle::kTransposed) {
+      TargetList all;
+      all.reserve(partition_.buckets.size());
+      for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
+        all.push_back(b);
+      }
+      dfs(root, all);
+    } else {
+      for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
+        TargetList one;
+        one.push_back(b);
+        dfs(root, one);
+      }
+    }
+  }
+
+ private:
+  void dfs(Node<Data>* node, const TargetList& targets) {
+    if (node == nullptr || node->type == NodeType::kEmptyLeaf) return;
+    const SpatialNode<Data> src = SpatialNode<Data>::of(*node);
+    TargetList keep;
+    for (std::uint32_t t : targets) {
+      auto tgt = partition_.buckets[t].view();
+      if (visitor_.open(src, tgt)) keep.push_back(t);
+      else visitor_.node(src, tgt);
+    }
+    if (keep.empty()) return;
+    switch (node->type) {
+      case NodeType::kLeaf:
+        for (std::uint32_t t : keep) {
+          auto tgt = partition_.buckets[t].view();
+          visitor_.leaf(src, tgt);
+        }
+        return;
+      case NodeType::kInternal:
+      case NodeType::kBoundary:
+        for (int c = 0; c < node->n_children; ++c) {
+          dfs(node->child(c), keep);
+        }
+        return;
+      case NodeType::kRemote:
+      case NodeType::kRemoteLeaf:
+        pause(node, std::move(keep));
+        return;
+      case NodeType::kEmptyLeaf:
+        return;
+    }
+  }
+
+  /// Defer `keep` until the placeholder's region is cached. The resume
+  /// re-locates the published node and re-enters dfs; open() is
+  /// re-evaluated there, which is safe because pruning predicates are
+  /// either pure geometry or shrink monotonically (kNN).
+  void pause(Node<Data>* ph, TargetList keep) {
+    const int slot = rts::Runtime::currentWorker();
+    // kPerThread: the data may already sit in this worker's private cache.
+    if (cache_.options().model == CacheModel::kPerThread) {
+      if (Node<Data>* priv = cache_.resolvePrivate(ph, slot)) {
+        dfs(priv, keep);
+        return;
+      }
+    }
+    Node<Data>* parent = ph->parent;
+    const Key key = ph->key;
+    auto keep_ptr = std::make_shared<TargetList>(std::move(keep));
+    cache_.requestThenResume(
+        ph,
+        [this, parent, ph, key, slot, keep_ptr] {
+          Node<Data>* fresh = nullptr;
+          {
+            rts::ActivityScope res(profiler_, rts::Activity::kTraversalResumption);
+            fresh = cache_.options().model == CacheModel::kPerThread
+                        ? cache_.resolvePrivate(ph, slot)
+                    : parent != nullptr ? findChildByKey(parent, key)
+                                        : cache_.root();
+          }
+          assert(fresh != nullptr && !fresh->placeholder());
+          rts::ActivityScope scope(profiler_, rts::Activity::kRemoteTraversal);
+          std::lock_guard run(partition_.run_mutex);
+          LoadScope<Data> load(partition_);
+          dfs(fresh, *keep_ptr);
+        },
+        slot);
+  }
+
+  Partition<Data>& partition_;
+  CacheManager<Data>& cache_;
+  rts::Runtime& rt_;
+  Visitor visitor_;
+  TraversalStyle style_;
+  rts::ActivityProfiler* profiler_;
+};
+
+/// The up-and-down traverser (paper Section II.A.2): per target bucket,
+/// locate the bucket's own leaf in the global tree, then climb the path
+/// back to the root, traversing each sibling subtree top-down. Reserved
+/// for pruning criteria that tighten during traversal (k-nearest
+/// neighbours): visiting near regions first shrinks the search ball
+/// before far regions are considered.
+template <typename Data, typename Visitor>
+class UpAndDownTraverser final : public TraverserBase {
+ public:
+  UpAndDownTraverser(Partition<Data>& partition, CacheManager<Data>& cache,
+                     rts::Runtime& rt, Visitor visitor = {},
+                     rts::ActivityProfiler* profiler = nullptr)
+      : partition_(partition), cache_(cache), rt_(rt),
+        visitor_(std::move(visitor)), profiler_(profiler) {}
+
+  void start() {
+    rts::ActivityScope scope(profiler_, rts::Activity::kLocalTraversal);
+    std::lock_guard run(partition_.run_mutex);
+    LoadScope<Data> load(partition_);
+    for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
+      descend(cache_.root(), b, /*path=*/{});
+    }
+  }
+
+ private:
+  using Path = SmallVector<Node<Data>*, 24>;
+
+  int bitsPerLevel() const { return cache_.options().bits_per_level; }
+
+  /// Phase A: walk from `node` down towards the bucket's own leaf,
+  /// recording the path.
+  void descend(Node<Data>* node, std::uint32_t b, Path path) {
+    const Key leaf_key = partition_.buckets[b].leaf_key;
+    while (true) {
+      if (node->placeholder()) {
+        pauseOn(node, [this, b, path](Node<Data>* fresh) mutable {
+          descend(fresh, b, std::move(path));
+        });
+        return;
+      }
+      path.push_back(node);
+      if (node->leaf() || node->key == leaf_key) break;
+      const int bits = bitsPerLevel();
+      const int rel = (keys::level(leaf_key, bits) - node->depth - 1) * bits;
+      assert(rel >= 0);
+      const auto c = static_cast<int>((leaf_key >> rel) &
+                                      ((Key{1} << bits) - 1));
+      assert(c < node->n_children);
+      node = node->child(c);
+    }
+    ascend(b, std::move(path));
+  }
+
+  /// Phase B: process the own leaf, then each ancestor's other children.
+  void ascend(std::uint32_t b, Path path) {
+    Node<Data>* own = path.back();
+    // Nearest data first: the bucket's own leaf.
+    dfsSingle(own, b);
+    for (std::size_t i = path.size(); i-- > 1;) {
+      Node<Data>* came_from = path[i];
+      Node<Data>* ancestor = path[i - 1];
+      for (int c = 0; c < ancestor->n_children; ++c) {
+        Node<Data>* child = ancestor->child(c);
+        if (child != nullptr && child != came_from) dfsSingle(child, b);
+      }
+    }
+  }
+
+  /// A single-target top-down walk under `node`.
+  void dfsSingle(Node<Data>* node, std::uint32_t b) {
+    if (node == nullptr || node->type == NodeType::kEmptyLeaf) return;
+    const SpatialNode<Data> src = SpatialNode<Data>::of(*node);
+    auto tgt = partition_.buckets[b].view();
+    if (!visitor_.open(src, tgt)) {
+      visitor_.node(src, tgt);
+      return;
+    }
+    switch (node->type) {
+      case NodeType::kLeaf:
+        visitor_.leaf(src, tgt);
+        return;
+      case NodeType::kInternal:
+      case NodeType::kBoundary:
+        for (int c = 0; c < node->n_children; ++c) dfsSingle(node->child(c), b);
+        return;
+      case NodeType::kRemote:
+      case NodeType::kRemoteLeaf:
+        pauseOn(node, [this, b](Node<Data>* fresh) { dfsSingle(fresh, b); });
+        return;
+      case NodeType::kEmptyLeaf:
+        return;
+    }
+  }
+
+  /// Shared pause helper: re-locate the fresh node and hand it to `next`.
+  void pauseOn(Node<Data>* ph, std::function<void(Node<Data>*)> next) {
+    const int slot = rts::Runtime::currentWorker();
+    if (cache_.options().model == CacheModel::kPerThread) {
+      if (Node<Data>* priv = cache_.resolvePrivate(ph, slot)) {
+        next(priv);
+        return;
+      }
+    }
+    Node<Data>* parent = ph->parent;
+    const Key key = ph->key;
+    cache_.requestThenResume(
+        ph,
+        [this, parent, ph, key, slot, next = std::move(next)] {
+          Node<Data>* fresh = nullptr;
+          {
+            rts::ActivityScope res(profiler_, rts::Activity::kTraversalResumption);
+            fresh = cache_.options().model == CacheModel::kPerThread
+                        ? cache_.resolvePrivate(ph, slot)
+                    : parent != nullptr ? findChildByKey(parent, key)
+                                        : cache_.root();
+          }
+          assert(fresh != nullptr && !fresh->placeholder());
+          rts::ActivityScope scope(profiler_, rts::Activity::kRemoteTraversal);
+          std::lock_guard run(partition_.run_mutex);
+          LoadScope<Data> load(partition_);
+          next(fresh);
+        },
+        slot);
+  }
+
+  Partition<Data>& partition_;
+  CacheManager<Data>& cache_;
+  rts::Runtime& rt_;
+  Visitor visitor_;
+  rts::ActivityProfiler* profiler_;
+};
+
+}  // namespace paratreet

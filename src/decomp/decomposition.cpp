@@ -1,0 +1,231 @@
+#include "decomp/decomposition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace paratreet {
+
+std::string toString(DecompType t) {
+  switch (t) {
+    case DecompType::eSfc: return "sfc";
+    case DecompType::eOct: return "oct";
+    case DecompType::eKd: return "kd";
+    case DecompType::eLongest: return "longest";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// SFC
+
+int SfcDecomposition::findSplitters(std::span<Particle> particles,
+                                    const OrientedBox& /*universe*/,
+                                    int n_pieces, Target target) {
+  assert(n_pieces > 0);
+  std::sort(particles.begin(), particles.end(),
+            [](const Particle& a, const Particle& b) { return a.key < b.key; });
+  splitters_.clear();
+  const std::size_t n = particles.size();
+  for (int piece = 0; piece < n_pieces; ++piece) {
+    // Slice [piece*n/k, (piece+1)*n/k); splitter = key of the next slice's
+    // first particle (or max for the last slice).
+    const std::size_t begin = n * static_cast<std::size_t>(piece) /
+                              static_cast<std::size_t>(n_pieces);
+    const std::size_t end = n * (static_cast<std::size_t>(piece) + 1) /
+                            static_cast<std::size_t>(n_pieces);
+    for (std::size_t i = begin; i < end; ++i) {
+      assign(particles[i], target, piece);
+    }
+    splitters_.push_back(end < n ? particles[end].key
+                                 : std::numeric_limits<std::uint64_t>::max());
+  }
+  return n_pieces;
+}
+
+int SfcDecomposition::pieceOf(const Particle& p) const {
+  auto it = std::upper_bound(splitters_.begin(), splitters_.end(), p.key);
+  if (it == splitters_.end()) --it;
+  return static_cast<int>(it - splitters_.begin());
+}
+
+// ---------------------------------------------------------------------------
+// Oct
+
+namespace {
+
+/// Morton-range start of an octree node key: the key's path bits shifted
+/// up to the full Morton width.
+std::uint64_t mortonRangeStart(Key k) {
+  const int lvl = keys::level(k, 3);
+  const Key path = k ^ (Key{1} << (3 * lvl));  // strip the level marker
+  return path << (keys::kMortonBits - 3 * lvl);
+}
+
+}  // namespace
+
+int OctDecomposition::findSplitters(std::span<Particle> particles,
+                                    const OrientedBox& universe, int n_pieces,
+                                    Target target) {
+  assert(n_pieces > 0);
+  std::sort(particles.begin(), particles.end(),
+            [](const Particle& a, const Particle& b) { return a.key < b.key; });
+
+  // A candidate region: an octree node covering particles [begin, end).
+  struct Region {
+    Key key;
+    int depth;
+    std::size_t begin, end;
+    std::size_t count() const { return end - begin; }
+  };
+  auto heavier = [](const Region& a, const Region& b) {
+    return a.count() < b.count();
+  };
+  std::priority_queue<Region, std::vector<Region>, decltype(heavier)> queue(
+      heavier);
+  queue.push({keys::kRoot, 0, 0, particles.size()});
+  std::vector<Region> leaves;
+
+  // Split the heaviest region into its octants until enough pieces exist.
+  // Empty octants are dropped; regions at max depth become final.
+  while (!queue.empty() &&
+         static_cast<int>(queue.size() + leaves.size()) < n_pieces) {
+    Region r = queue.top();
+    queue.pop();
+    if (r.depth >= keys::kMortonBitsPerDim || r.count() <= 1) {
+      leaves.push_back(r);
+      continue;
+    }
+    const int shift = keys::kMortonBits - 3 * (r.depth + 1);
+    std::size_t begin = r.begin;
+    for (unsigned c = 0; c < 8; ++c) {
+      auto it = std::upper_bound(
+          particles.begin() + static_cast<std::ptrdiff_t>(begin),
+          particles.begin() + static_cast<std::ptrdiff_t>(r.end), c,
+          [shift](unsigned octant, const Particle& p) {
+            return octant < ((p.key >> shift) & 0x7u);
+          });
+      const auto end = static_cast<std::size_t>(it - particles.begin());
+      if (end > begin) {
+        queue.push({keys::child(r.key, c, 3), r.depth + 1, begin, end});
+      }
+      begin = end;
+    }
+  }
+  while (!queue.empty()) {
+    leaves.push_back(queue.top());
+    queue.pop();
+  }
+
+  std::sort(leaves.begin(), leaves.end(),
+            [](const Region& a, const Region& b) { return a.begin < b.begin; });
+
+  regions_.clear();
+  range_starts_.clear();
+  for (std::size_t piece = 0; piece < leaves.size(); ++piece) {
+    const Region& r = leaves[piece];
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      assign(particles[i], target, static_cast<int>(piece));
+    }
+    regions_.push_back({r.key, r.depth, keys::boxForOctKey(r.key, universe),
+                        r.count()});
+    range_starts_.push_back(mortonRangeStart(r.key));
+  }
+  return static_cast<int>(regions_.size());
+}
+
+int OctDecomposition::pieceOf(const Particle& p) const {
+  assert(!range_starts_.empty());
+  auto it = std::upper_bound(range_starts_.begin(), range_starts_.end(), p.key);
+  assert(it != range_starts_.begin());
+  return static_cast<int>(it - range_starts_.begin()) - 1;
+}
+
+// ---------------------------------------------------------------------------
+// Binary splits (k-d / longest-dimension)
+
+int BinarySplitDecomposition::findSplitters(std::span<Particle> particles,
+                                            const OrientedBox& universe,
+                                            int n_pieces, Target target) {
+  assert(n_pieces > 0);
+  nodes_.clear();
+  regions_.clear();
+  regions_.resize(static_cast<std::size_t>(n_pieces));
+  root_ = splitRecursive(particles, universe, keys::kRoot, 0, n_pieces, 0,
+                         target);
+  return n_pieces;
+}
+
+int BinarySplitDecomposition::splitRecursive(std::span<Particle> particles,
+                                             const OrientedBox& box, Key key,
+                                             int depth, int n_pieces,
+                                             int first_piece, Target target) {
+  if (n_pieces == 1) {
+    for (auto& p : particles) assign(p, target, first_piece);
+    regions_[static_cast<std::size_t>(first_piece)] =
+        SubtreeRegion{key, depth, box, particles.size()};
+    return -(first_piece + 1);
+  }
+  const int left_pieces = n_pieces / 2;
+  // Proportional cut keeps counts even for non-power-of-two piece counts.
+  const std::size_t cut = particles.size() *
+                          static_cast<std::size_t>(left_pieces) /
+                          static_cast<std::size_t>(n_pieces);
+  const std::size_t dim = mode_ == Mode::kCycleDims
+                              ? static_cast<std::size_t>(depth) % 3
+                              : box.longestDimension();
+  std::nth_element(particles.begin(),
+                   particles.begin() + static_cast<std::ptrdiff_t>(cut),
+                   particles.end(),
+                   [dim](const Particle& a, const Particle& b) {
+                     return a.position[dim] < b.position[dim];
+                   });
+  const double plane =
+      cut < particles.size() ? particles[cut].position[dim] : box.greater_corner[dim];
+
+  OrientedBox left_box = box, right_box = box;
+  left_box.greater_corner[dim] = plane;
+  right_box.lesser_corner[dim] = plane;
+
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back({dim, plane, -1, -1});
+  const int left =
+      splitRecursive(particles.first(cut), left_box,
+                     keys::child(key, 0, 1), depth + 1, left_pieces,
+                     first_piece, target);
+  const int right = splitRecursive(
+      particles.subspan(cut), right_box, keys::child(key, 1, 1), depth + 1,
+      n_pieces - left_pieces, first_piece + left_pieces, target);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+int BinarySplitDecomposition::pieceOf(const Particle& p) const {
+  assert(root_ != -1);
+  int cur = root_;
+  while (cur >= 0) {
+    const PlaneNode& n = nodes_[static_cast<std::size_t>(cur)];
+    cur = p.position[n.dim] < n.plane ? n.left : n.right;
+  }
+  return -cur - 1;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Decomposition> makeDecomposition(DecompType type) {
+  switch (type) {
+    case DecompType::eSfc: return std::make_unique<SfcDecomposition>();
+    case DecompType::eOct: return std::make_unique<OctDecomposition>();
+    case DecompType::eKd:
+      return std::make_unique<BinarySplitDecomposition>(
+          BinarySplitDecomposition::Mode::kCycleDims);
+    case DecompType::eLongest:
+      return std::make_unique<BinarySplitDecomposition>(
+          BinarySplitDecomposition::Mode::kLongestDim);
+  }
+  return nullptr;
+}
+
+}  // namespace paratreet

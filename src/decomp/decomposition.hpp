@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tree/particle.hpp"
+#include "util/box.hpp"
+#include "util/key.hpp"
+
+namespace paratreet {
+
+/// Decomposition strategies offered by the framework (paper Section II.C).
+/// Partitions (load) and Subtrees (memory) are decomposed independently;
+/// a Subtree decomposition must be consistent with the chosen tree type.
+enum class DecompType {
+  eSfc,      ///< equal-count slices of the space-filling curve
+  eOct,      ///< octree regions (BFS split of heaviest nodes)
+  eKd,       ///< k-d median splits, cycling dimensions
+  eLongest,  ///< median splits along the longest box dimension
+};
+
+std::string toString(DecompType t);
+
+/// A tree-consistent region produced by a decomposition: the root of one
+/// Subtree. `key` is the tree-node key of the region (octree keys for
+/// eOct, binary-path keys for eKd/eLongest, SFC-slice index keys for
+/// eSfc which is not tree-consistent).
+struct SubtreeRegion {
+  Key key{keys::kRoot};
+  int depth{0};
+  OrientedBox box{};
+  /// Number of particles assigned at decomposition time (load estimate).
+  std::size_t count{0};
+};
+
+/// Base interface for decompositions, mirroring the paper's user-facing
+/// `findSplitters()` customization point. A Decomposition is used in two
+/// steps: findSplitters() computes splitters from the full particle set
+/// and writes each particle's piece id via `assign`; afterwards pieceOf()
+/// maps any (possibly new) particle to its piece, used when particles
+/// drift across boundaries between flushes.
+class Decomposition {
+ public:
+  virtual ~Decomposition() = default;
+
+  /// Which field of Particle the assignment is written to.
+  enum class Target { kPartition, kSubtree };
+
+  /// Compute splitters over `particles` for (at least) `n_pieces` pieces
+  /// and store each particle's piece id in the field selected by
+  /// `target`. May reorder `particles`. Returns the number of pieces
+  /// actually created (eOct can exceed the request).
+  virtual int findSplitters(std::span<Particle> particles,
+                            const OrientedBox& universe, int n_pieces,
+                            Target target) = 0;
+
+  /// Piece of a particle, valid after findSplitters().
+  virtual int pieceOf(const Particle& p) const = 0;
+
+  /// Regions of the pieces (valid after findSplitters()); tree-consistent
+  /// decompositions return one region per piece, eSfc returns {}.
+  virtual std::vector<SubtreeRegion> regions() const { return {}; }
+
+  virtual DecompType type() const = 0;
+
+ protected:
+  static void assign(Particle& p, Target target, int piece) {
+    if (target == Target::kPartition) p.partition = piece;
+    else p.subtree = piece;
+  }
+};
+
+/// Space-filling-curve decomposition: particles are mapped to the Morton
+/// curve (keys must be assigned) and the curve is cut into `n_pieces`
+/// equal-count slices. Balances load well but is not consistent with any
+/// tree type — exactly the combination the Partitions-Subtrees model
+/// exists to support.
+class SfcDecomposition final : public Decomposition {
+ public:
+  int findSplitters(std::span<Particle> particles, const OrientedBox& universe,
+                    int n_pieces, Target target) override;
+  int pieceOf(const Particle& p) const override;
+  DecompType type() const override { return DecompType::eSfc; }
+
+  /// Exclusive upper key bounds of each slice.
+  const std::vector<std::uint64_t>& splitters() const { return splitters_; }
+
+ private:
+  std::vector<std::uint64_t> splitters_;
+};
+
+/// Octree decomposition: BFS-split the octree node with the most
+/// particles until there are >= n_pieces nonempty regions. Regions are
+/// octree nodes, so this is the tree-consistent decomposition for
+/// OctTreeType. Inherits the octree's imbalance on irregular
+/// distributions (the Fig 13 effect).
+class OctDecomposition final : public Decomposition {
+ public:
+  int findSplitters(std::span<Particle> particles, const OrientedBox& universe,
+                    int n_pieces, Target target) override;
+  int pieceOf(const Particle& p) const override;
+  std::vector<SubtreeRegion> regions() const override { return regions_; }
+  DecompType type() const override { return DecompType::eOct; }
+
+ private:
+  std::vector<SubtreeRegion> regions_;  ///< sorted by key's Morton range
+  std::vector<std::uint64_t> range_starts_;  ///< Morton range start per region
+};
+
+/// Binary median-split decomposition. With `kCycleDims` the split
+/// dimension cycles with depth (k-d); otherwise it follows the longest
+/// box side (longest-dimension, the Section IV case-study decomposition).
+/// Produces exactly n_pieces pieces with near-equal counts by splitting
+/// particle counts proportionally for non-power-of-two piece counts.
+class BinarySplitDecomposition : public Decomposition {
+ public:
+  enum class Mode { kCycleDims, kLongestDim };
+
+  explicit BinarySplitDecomposition(Mode mode) : mode_(mode) {}
+
+  int findSplitters(std::span<Particle> particles, const OrientedBox& universe,
+                    int n_pieces, Target target) override;
+  int pieceOf(const Particle& p) const override;
+  std::vector<SubtreeRegion> regions() const override { return regions_; }
+  DecompType type() const override {
+    return mode_ == Mode::kCycleDims ? DecompType::eKd : DecompType::eLongest;
+  }
+
+ private:
+  struct PlaneNode {
+    std::size_t dim{0};
+    double plane{0.0};
+    int left{-1};   ///< index into nodes_, or ~piece when negative
+    int right{-1};  ///< encoded as -(piece+1) at leaves
+  };
+
+  int splitRecursive(std::span<Particle> particles, const OrientedBox& box,
+                     Key key, int depth, int n_pieces, int first_piece,
+                     Target target);
+
+  Mode mode_;
+  std::vector<PlaneNode> nodes_;
+  std::vector<SubtreeRegion> regions_;
+  int root_{-1};
+};
+
+/// Factory for the built-in decompositions.
+std::unique_ptr<Decomposition> makeDecomposition(DecompType type);
+
+}  // namespace paratreet

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace paratreet::rts {
+
+/// An all-reduce rendezvous: `n` contributors each call contribute() with a
+/// value folded in under a binary op; wait() blocks until all contributions
+/// have arrived and returns the combined value. Mirrors Charm++ reductions
+/// at the granularity this framework needs (per-phase counters, bounding
+/// boxes, max loads).
+template <typename T, typename Op>
+class Reduction {
+ public:
+  Reduction(std::size_t n, T identity, Op op = {})
+      : expected_(n), value_(std::move(identity)), op_(std::move(op)) {}
+
+  /// Fold `v` into the reduction; thread-safe.
+  void contribute(const T& v) {
+    std::lock_guard lock(mutex_);
+    value_ = op_(value_, v);
+    if (++arrived_ == expected_) cv_.notify_all();
+  }
+
+  /// Block until all `n` contributions arrived; returns the result.
+  const T& wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return arrived_ == expected_; });
+    return value_;
+  }
+
+  /// Re-arm for another round with a fresh identity.
+  void reset(T identity) {
+    std::lock_guard lock(mutex_);
+    arrived_ = 0;
+    value_ = std::move(identity);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t expected_;
+  std::size_t arrived_{0};
+  T value_;
+  Op op_;
+};
+
+/// A simple completion latch: count down `n` times, wait for zero.
+class Latch {
+ public:
+  explicit Latch(std::size_t n) : remaining_(n) {}
+
+  void countDown() {
+    std::lock_guard lock(mutex_);
+    if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+};
+
+}  // namespace paratreet::rts

@@ -1,0 +1,136 @@
+#include "rts/runtime.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace paratreet::rts {
+
+namespace {
+thread_local int tls_proc = -1;
+thread_local int tls_worker = -1;
+}  // namespace
+
+int Runtime::currentProc() { return tls_proc; }
+int Runtime::currentWorker() { return tls_worker; }
+
+Runtime::Runtime(Config config) : config_(config) {
+  assert(config_.n_procs > 0 && config_.workers_per_proc > 0);
+  queues_.reserve(config_.n_procs);
+  for (int p = 0; p < config_.n_procs; ++p) {
+    queues_.push_back(std::make_unique<ProcQueue>());
+  }
+  threads_.reserve(static_cast<std::size_t>(numWorkers()));
+  for (int p = 0; p < config_.n_procs; ++p) {
+    for (int w = 0; w < config_.workers_per_proc; ++w) {
+      threads_.emplace_back([this, p, w] { workerLoop(p, w); });
+    }
+  }
+}
+
+Runtime::~Runtime() {
+  drain();
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& q : queues_) {
+    std::lock_guard lock(q->mutex);
+    q->cv.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void Runtime::enqueue(int proc, Task task) {
+  assert(proc >= 0 && proc < config_.n_procs);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  auto& q = *queues_[proc];
+  {
+    std::lock_guard lock(q.mutex);
+    q.ready.push_back(std::move(task));
+  }
+  q.cv.notify_one();
+}
+
+void Runtime::send(int from, int to, std::size_t bytes, Task on_receive) {
+  assert(to >= 0 && to < config_.n_procs);
+  (void)from;
+  msg_count_.fetch_add(1, std::memory_order_relaxed);
+  msg_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (!config_.comm.enabled() || from == to) {
+    enqueue(to, std::move(on_receive));
+    return;
+  }
+  const auto delay =
+      std::chrono::duration<double, std::micro>(config_.comm.costUs(bytes));
+  const auto ready = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(delay);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  auto& q = *queues_[to];
+  {
+    std::lock_guard lock(q.mutex);
+    q.delayed.push(DelayedTask{
+        ready, delay_seq_.fetch_add(1, std::memory_order_relaxed),
+        std::move(on_receive)});
+  }
+  q.cv.notify_one();
+}
+
+void Runtime::broadcast(std::function<void(int)> fn) {
+  for (int p = 0; p < config_.n_procs; ++p) {
+    enqueue(p, [fn, p] { fn(p); });
+  }
+}
+
+void Runtime::finishTask() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void Runtime::drain() {
+  std::unique_lock lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+CommStats Runtime::stats() const {
+  return {msg_count_.load(std::memory_order_relaxed),
+          msg_bytes_.load(std::memory_order_relaxed)};
+}
+
+void Runtime::resetStats() {
+  msg_count_.store(0, std::memory_order_relaxed);
+  msg_bytes_.store(0, std::memory_order_relaxed);
+}
+
+void Runtime::workerLoop(int proc, int worker) {
+  tls_proc = proc;
+  tls_worker = worker;
+  auto& q = *queues_[proc];
+  std::unique_lock lock(q.mutex);
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    // Promote matured delayed messages to the ready queue.
+    while (!q.delayed.empty() && q.delayed.top().ready <= now) {
+      q.ready.push_back(std::move(q.delayed.top().task));
+      q.delayed.pop();
+    }
+    if (!q.ready.empty()) {
+      Task task = std::move(q.ready.front());
+      q.ready.pop_front();
+      lock.unlock();
+      task();
+      task = nullptr;  // run destructors (captures) before finishTask
+      finishTask();
+      lock.lock();
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    if (!q.delayed.empty()) {
+      q.cv.wait_until(lock, q.delayed.top().ready);
+    } else {
+      q.cv.wait(lock);
+    }
+  }
+}
+
+}  // namespace paratreet::rts

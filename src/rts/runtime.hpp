@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace paratreet::rts {
+
+/// A unit of work executed on one worker thread of one logical process.
+using Task = std::function<void()>;
+
+/// Cost model for cross-process messages. The real system runs over
+/// MPI/UCX; here every logical process lives in the same address space, so
+/// sends are physically free. When enabled, the model delays delivery of a
+/// message by `latency_us + bytes * us_per_byte` microseconds, making
+/// communication volume visible in wall-clock measurements the way a real
+/// interconnect would.
+struct CommModel {
+  double latency_us = 0.0;
+  double us_per_byte = 0.0;
+
+  bool enabled() const { return latency_us > 0.0 || us_per_byte > 0.0; }
+  double costUs(std::size_t bytes) const {
+    return latency_us + us_per_byte * static_cast<double>(bytes);
+  }
+};
+
+/// Aggregate communication counters, readable after drain().
+struct CommStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The runtime substrate standing in for Charm++: a fixed set of logical
+/// processes (ranks), each served by a fixed set of worker threads.
+///
+/// Tasks enqueued on a process are executed by exactly one of that
+/// process's workers (whichever is least busy — idle workers race to pop,
+/// which matches the paper's "least busy worker" dispatch of cache-fill
+/// messages). Cross-process communication goes through send(), which
+/// counts messages/bytes and optionally applies the CommModel delay.
+///
+/// The orchestrating (main) thread is *not* a worker: it configures a
+/// phase, enqueues seed tasks, and calls drain() to wait for quiescence
+/// (no task running, no task queued, no message in flight).
+class Runtime {
+ public:
+  struct Config {
+    int n_procs = 1;
+    int workers_per_proc = 1;
+    CommModel comm{};
+  };
+
+  explicit Runtime(Config config);
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  ~Runtime();
+
+  int numProcs() const { return config_.n_procs; }
+  int workersPerProc() const { return config_.workers_per_proc; }
+  int numWorkers() const { return config_.n_procs * config_.workers_per_proc; }
+
+  /// Enqueue a local task on process `proc` (no communication cost).
+  void enqueue(int proc, Task task);
+
+  /// Send a message of `bytes` payload from process `from` to `to`;
+  /// `on_receive` runs on one of `to`'s workers after the modeled delay.
+  void send(int from, int to, std::size_t bytes, Task on_receive);
+
+  /// Run `fn(proc)` once on every process, then return immediately.
+  void broadcast(std::function<void(int)> fn);
+
+  /// Block the calling (non-worker) thread until the system is quiescent.
+  void drain();
+
+  /// Communication counters accumulated since the last resetStats().
+  CommStats stats() const;
+  void resetStats();
+
+  /// Logical process of the calling worker thread, or -1 off-worker.
+  static int currentProc();
+  /// Worker index within its process, or -1 off-worker.
+  static int currentWorker();
+
+ private:
+  struct DelayedTask {
+    std::chrono::steady_clock::time_point ready;
+    // Order-of-insertion tiebreak keeps delivery FIFO per ready-time.
+    std::uint64_t seq;
+    mutable Task task;  // mutable: priority_queue::top() is const
+    bool operator<(const DelayedTask& o) const {
+      // std::priority_queue is a max-heap; invert for earliest-first.
+      return ready != o.ready ? ready > o.ready : seq > o.seq;
+    }
+  };
+
+  struct ProcQueue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Task> ready;
+    std::priority_queue<DelayedTask> delayed;
+  };
+
+  void workerLoop(int proc, int worker);
+  void finishTask();
+
+  Config config_;
+  std::vector<std::unique_ptr<ProcQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> pending_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<std::uint64_t> msg_count_{0};
+  std::atomic<std::uint64_t> msg_bytes_{0};
+  std::atomic<std::uint64_t> delay_seq_{0};
+};
+
+}  // namespace paratreet::rts

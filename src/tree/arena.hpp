@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "tree/node.hpp"
+
+namespace paratreet {
+
+/// Owns the nodes of one Subtree's local tree. std::deque gives stable
+/// addresses under growth, which the tree's parent/child pointers (and the
+/// cache's atomic links) rely on. Not thread-safe: each Subtree builds its
+/// tree on one worker.
+template <typename Data>
+class NodeArena {
+ public:
+  Node<Data>* allocate() { return &nodes_.emplace_back(); }
+
+  std::size_t size() const { return nodes_.size(); }
+  void clear() { nodes_.clear(); }
+
+ private:
+  std::deque<Node<Data>> nodes_;
+};
+
+}  // namespace paratreet

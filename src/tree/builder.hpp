@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "tree/arena.hpp"
+#include "tree/node.hpp"
+#include "tree/tree_types.hpp"
+
+namespace paratreet {
+
+/// Build options shared by all tree types.
+struct BuildOptions {
+  /// Leaves hold at most this many particles (the paper's bucket size).
+  int bucket_size = 12;
+  /// Owner identification stamped on every node built.
+  int owner_subtree = 0;
+  int home_proc = 0;
+};
+
+/// Recursively build the tree over `parts`, rooted at (`root_key`,
+/// `root_box`, `root_depth`), allocating from `arena`.
+///
+/// Trees are built from the root down according to the TreeType policy
+/// and `Data` is accumulated from the leaves up (the paper's Data
+/// abstraction): leaves run `Data(particles, n)`, internal nodes fold
+/// children with `operator+=`. Empty children are materialized as
+/// kEmptyLeaf nodes so child indices stay aligned with the tree type's
+/// branching (the cache protocol relies on stable child slots).
+template <typename Data, typename TreeType>
+Node<Data>* buildSubtree(const TreeType& tree_type, NodeArena<Data>& arena,
+                         std::span<Particle> parts, Key root_key,
+                         const OrientedBox& root_box, int root_depth,
+                         const BuildOptions& opts) {
+  Node<Data>* n = arena.allocate();
+  n->key = root_key;
+  n->depth = static_cast<std::int16_t>(root_depth);
+  n->box = root_box;
+  n->n_particles = static_cast<int>(parts.size());
+  n->owner_subtree = opts.owner_subtree;
+  n->home_proc = opts.home_proc;
+
+  const bool must_leaf = root_depth >= TreeType::kMaxDepth;
+  if (parts.empty()) {
+    n->type = NodeType::kEmptyLeaf;
+    n->data = Data{};
+    return n;
+  }
+  if (static_cast<int>(parts.size()) <= opts.bucket_size || must_leaf) {
+    n->type = NodeType::kLeaf;
+    n->particles = parts.data();
+    n->data = Data(parts.data(), static_cast<int>(parts.size()));
+    return n;
+  }
+
+  const SplitResult split =
+      tree_type.split(root_key, root_box, root_depth, parts);
+  n->type = NodeType::kInternal;
+  n->n_children = static_cast<std::int16_t>(split.n_children);
+  n->data = Data{};
+  for (int c = 0; c < split.n_children; ++c) {
+    auto child_parts = parts.subspan(
+        split.offsets[static_cast<std::size_t>(c)],
+        split.offsets[static_cast<std::size_t>(c) + 1] -
+            split.offsets[static_cast<std::size_t>(c)]);
+    Node<Data>* child = buildSubtree(
+        tree_type, arena, child_parts,
+        keys::child(root_key, static_cast<unsigned>(c), TreeType::kBitsPerLevel),
+        split.boxes[static_cast<std::size_t>(c)], root_depth + 1, opts);
+    n->setChild(c, child);
+    n->data += child->data;
+  }
+  return n;
+}
+
+/// Convenience entry point: prepare the particle order for the tree type,
+/// then build from the global root.
+template <typename Data, typename TreeType>
+Node<Data>* buildTree(const TreeType& tree_type, NodeArena<Data>& arena,
+                      std::span<Particle> parts, const OrientedBox& universe,
+                      const BuildOptions& opts = {}) {
+  tree_type.prepare(parts);
+  return buildSubtree<Data>(tree_type, arena, parts, keys::kRoot, universe, 0,
+                            opts);
+}
+
+}  // namespace paratreet

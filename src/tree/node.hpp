@@ -1,0 +1,172 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+#include "tree/particle.hpp"
+#include "util/box.hpp"
+#include "util/key.hpp"
+
+namespace paratreet {
+
+/// Role of a node in the (distributed) global tree, as seen by one
+/// process. Local nodes carry data and particles; Boundary nodes are the
+/// replicated upper levels; Remote nodes are placeholders that the
+/// software cache swaps out for fetched copies during traversal.
+enum class NodeType : std::uint8_t {
+  kInternal,    ///< local internal node with valid Data
+  kLeaf,        ///< local leaf (bucket) with particles
+  kEmptyLeaf,   ///< local leaf with zero particles
+  kBoundary,    ///< replicated upper-tree node (valid Data, children may be remote)
+  kRemote,      ///< placeholder for a remote internal node
+  kRemoteLeaf,  ///< placeholder for a remote leaf
+};
+
+constexpr bool isLocal(NodeType t) {
+  return t == NodeType::kInternal || t == NodeType::kLeaf ||
+         t == NodeType::kEmptyLeaf;
+}
+constexpr bool isRemotePlaceholder(NodeType t) {
+  return t == NodeType::kRemote || t == NodeType::kRemoteLeaf;
+}
+constexpr bool isLeaf(NodeType t) {
+  return t == NodeType::kLeaf || t == NodeType::kEmptyLeaf ||
+         t == NodeType::kRemoteLeaf;
+}
+
+/// Maximum branch factor across supported tree types (octree).
+inline constexpr int kMaxChildren = 8;
+
+/// A continuation paused on a not-yet-cached remote node. Nodes keep an
+/// intrusive lock-free stack of these; the cache fill path detaches the
+/// whole stack with one atomic exchange and re-enqueues the resumes.
+struct Waiter {
+  Waiter* next{nullptr};
+  std::function<void()> resume;
+};
+
+/// Sentinel marking a waiter list as closed: the node's data has been
+/// published, so late arrivals resume immediately instead of enqueuing.
+inline Waiter* const kWaitersClosed = reinterpret_cast<Waiter*>(1);
+
+/// A node of the global spatial tree, adorned with user `Data`.
+///
+/// Child links are atomic pointers so the shared-memory cache can publish
+/// fetched subtrees with a single release-store per link (the paper's
+/// wait-free model); traversals load them with acquire. Nodes are
+/// allocated in stable blocks (never moved) and freed wholesale at the
+/// next tree build.
+template <typename Data>
+struct Node {
+  Key key{keys::kRoot};
+  NodeType type{NodeType::kEmptyLeaf};
+  std::int16_t depth{0};
+  /// Number of children slots in use (branch factor of this tree level).
+  std::int16_t n_children{0};
+  OrientedBox box{};
+  /// Subtree payload summary; valid for all non-placeholder nodes.
+  Data data{};
+  /// Total particles under this node (valid for non-placeholder nodes).
+  int n_particles{0};
+  /// Bucket particles (leaves only); points into the owning Subtree's
+  /// storage, or into the cache arena for fetched remote leaves.
+  Particle* particles{nullptr};
+
+  /// Index of the Subtree chare that owns this region (for placeholders:
+  /// where to send the fetch request).
+  std::int32_t owner_subtree{-1};
+  /// Home process of owner_subtree.
+  std::int32_t home_proc{-1};
+
+  Node* parent{nullptr};
+  std::array<std::atomic<Node*>, kMaxChildren> children{};
+
+  /// Fetch protocol state (placeholders only): set once by the first
+  /// traversal that needs this node.
+  std::atomic<bool> requested{false};
+  /// Lock-free stack of traversals paused on this node.
+  std::atomic<Waiter*> waiters{nullptr};
+
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Node* child(int i) const {
+    assert(i >= 0 && i < n_children);
+    return children[static_cast<std::size_t>(i)].load(std::memory_order_acquire);
+  }
+  void setChild(int i, Node* c) {
+    assert(i >= 0 && i < kMaxChildren);
+    children[static_cast<std::size_t>(i)].store(c, std::memory_order_release);
+    if (c) c->parent = this;
+  }
+
+  bool leaf() const { return isLeaf(type); }
+  bool placeholder() const { return isRemotePlaceholder(type); }
+
+  /// Attach a paused traversal. Returns false if the node was already
+  /// published (list closed) and the caller should resume immediately.
+  /// `w` must outlive the wait (the cache owns waiter storage).
+  bool addWaiter(Waiter* w) {
+    Waiter* head = waiters.load(std::memory_order_acquire);
+    do {
+      if (head == kWaitersClosed) return false;
+      w->next = head;
+    } while (!waiters.compare_exchange_weak(head, w, std::memory_order_release,
+                                            std::memory_order_acquire));
+    return true;
+  }
+
+  /// Close the waiter list (publish) and detach all pending waiters.
+  Waiter* closeWaiters() {
+    return waiters.exchange(kWaitersClosed, std::memory_order_acq_rel);
+  }
+};
+
+/// The read-only/target view of a tree node handed to user Visitors,
+/// mirroring the paper's `SpatialNode<Data>`. Source nodes are passed as
+/// `const SpatialNode&` — the const overloads below are the only
+/// operations available, enforcing the paper's read-only semantics on
+/// state shared between threads. Target buckets are passed mutable so
+/// visitors can deposit results (accelerations, densities, ...) onto
+/// particles the partition owns.
+template <typename Data>
+class SpatialNode {
+ public:
+  SpatialNode(const Data& data, const OrientedBox& box, Key key, int n_particles,
+              Particle* particles)
+      : data(data), box(box), key(key), n_particles(n_particles),
+        particles_(particles) {}
+
+  /// Build a source view of a tree node.
+  static SpatialNode of(const Node<Data>& n) {
+    return SpatialNode(n.data, n.box, n.key, n.n_particles, n.particles);
+  }
+
+  const Data& data;        ///< user-defined subtree summary
+  const OrientedBox& box;  ///< spatial extent of the node
+  const Key key;
+  const int n_particles;
+
+  const Particle& particle(int i) const {
+    assert(i >= 0 && i < n_particles);
+    return particles_[i];
+  }
+  Particle& particle(int i) {
+    assert(i >= 0 && i < n_particles);
+    return particles_[i];
+  }
+
+  /// Deposit an acceleration contribution on target particle `i`.
+  void applyAcceleration(int i, const Vec3& a) { particle(i).acceleration += a; }
+  /// Deposit a potential contribution on target particle `i`.
+  void applyPotential(int i, double phi) { particle(i).potential += phi; }
+
+ private:
+  Particle* particles_;
+};
+
+}  // namespace paratreet

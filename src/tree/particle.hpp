@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/key.hpp"
+#include "util/vector3.hpp"
+
+namespace paratreet {
+
+/// The framework's particle record.
+///
+/// Identity and dynamics fields are always meaningful; the trailing
+/// application fields are written by visitors during traversal (gravity
+/// fills acceleration/potential, SPH fills density/pressure, collision
+/// detection fills collision_partner). Keeping one concrete particle type
+/// (as ParaTreeT does) lets tree build, decomposition, serialization and
+/// caching stay non-templated.
+struct Particle {
+  // --- identity & dynamics -------------------------------------------------
+  Vec3 position{};
+  Vec3 velocity{};
+  double mass{0.0};
+  /// Solid-body radius (collision workloads) or SPH smoothing-length seed.
+  double ball_radius{0.0};
+  /// Space-filling-curve (Morton) key of the position; assigned during
+  /// decomposition and kept in sync with position by each flush.
+  std::uint64_t key{0};
+  /// Original input index; stable across decomposition and migration.
+  std::int32_t order{-1};
+  /// Destination partition chosen by the decomposition.
+  std::int32_t partition{-1};
+  /// Destination subtree chosen by the (tree-consistent) decomposition.
+  std::int32_t subtree{-1};
+
+  // --- per-iteration outputs (written by visitors) -------------------------
+  Vec3 acceleration{};
+  double potential{0.0};
+  double density{0.0};
+  double pressure{0.0};
+  /// Index (order) of the closest detected collision partner, or -1.
+  std::int32_t collision_partner{-1};
+  /// Time within the step of the earliest detected collision (collision
+  /// workloads), set together with collision_partner.
+  double collision_time{0.0};
+  /// Neighbours found inside the current search ball (SPH workloads).
+  std::int32_t neighbor_count{0};
+  /// Squared search-ball radius: the kNN traversal shrinks it as better
+  /// candidates arrive; fixed-ball searches treat it as a constant and
+  /// 0 disables the particle.
+  double ball2{0.0};
+
+  friend bool operator<(const Particle& a, const Particle& b) {
+    return a.key < b.key;
+  }
+};
+
+/// Assign SFC keys to a particle set within `universe`.
+inline void assignKeys(std::vector<Particle>& particles,
+                       const OrientedBox& universe) {
+  for (auto& p : particles) p.key = keys::mortonKey(p.position, universe);
+}
+
+}  // namespace paratreet

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <span>
+
+#include "tree/node.hpp"
+#include "tree/particle.hpp"
+#include "util/box.hpp"
+#include "util/key.hpp"
+
+namespace paratreet {
+
+/// How one tree level splits a node's particle range among children.
+/// Child `i` owns particles [offsets[i], offsets[i+1]) of the (possibly
+/// reordered) range, with spatial extent boxes[i].
+struct SplitResult {
+  int n_children{0};
+  std::array<std::size_t, kMaxChildren + 1> offsets{};
+  std::array<OrientedBox, kMaxChildren> boxes{};
+};
+
+/// Octree policy: every node splits into 8 equal-volume octants. Requires
+/// the particle range to be sorted by Morton key (the builder's
+/// prepare() does this); child ranges are then found by binary search on
+/// the key prefix, the classic hashed-octree construction.
+class OctTreeType {
+ public:
+  static constexpr int kBitsPerLevel = 3;
+  static constexpr int kBranchFactor = 8;
+  static constexpr int kMaxDepth = keys::kMortonBitsPerDim;
+
+  OctTreeType() = default;
+
+  /// Sort particles into Morton order; called once per tree build.
+  void prepare(std::span<Particle> parts) const {
+    std::sort(parts.begin(), parts.end(),
+              [](const Particle& a, const Particle& b) { return a.key < b.key; });
+  }
+
+  SplitResult split(Key /*key*/, const OrientedBox& box, int depth,
+                    std::span<Particle> parts) const {
+    assert(depth < kMaxDepth);
+    SplitResult r;
+    r.n_children = kBranchFactor;
+    // Morton bits below this depth select the octant.
+    const int shift = keys::kMortonBits - 3 * (depth + 1);
+    r.offsets[0] = 0;
+    for (unsigned c = 0; c < kBranchFactor; ++c) {
+      // End of child c = first particle whose octant exceeds c.
+      auto it = std::upper_bound(
+          parts.begin() + static_cast<std::ptrdiff_t>(r.offsets[c]), parts.end(), c,
+          [shift](unsigned octant, const Particle& p) {
+            return octant < ((p.key >> shift) & 0x7u);
+          });
+      r.offsets[c + 1] = static_cast<std::size_t>(it - parts.begin());
+      r.boxes[c] = octantBox(box, c);
+    }
+    assert(r.offsets[kBranchFactor] == parts.size());
+    return r;
+  }
+
+  /// The octant `c` (bit2=x, bit1=y, bit0=z) of `box`.
+  static OrientedBox octantBox(const OrientedBox& box, unsigned c) {
+    OrientedBox child = box;
+    const Vec3 mid = box.center();
+    for (std::size_t d = 0; d < 3; ++d) {
+      if ((c >> (2 - d)) & 1u) child.lesser_corner[d] = mid[d];
+      else child.greater_corner[d] = mid[d];
+    }
+    return child;
+  }
+};
+
+/// k-d tree policy: binary splits at the median particle, cycling the
+/// split dimension with depth (x, y, z, x, ...). Guarantees balanced
+/// leaves regardless of the particle distribution.
+class KdTreeType {
+ public:
+  static constexpr int kBitsPerLevel = 1;
+  static constexpr int kBranchFactor = 2;
+  static constexpr int kMaxDepth = 60;
+
+  void prepare(std::span<Particle>) const {}
+
+  SplitResult split(Key /*key*/, const OrientedBox& box, int depth,
+                    std::span<Particle> parts) const {
+    return medianSplit(box, parts, static_cast<std::size_t>(depth) % 3);
+  }
+
+ protected:
+  static SplitResult medianSplit(const OrientedBox& box,
+                                 std::span<Particle> parts, std::size_t dim) {
+    SplitResult r;
+    r.n_children = 2;
+    const std::size_t mid = parts.size() / 2;
+    std::nth_element(parts.begin(), parts.begin() + static_cast<std::ptrdiff_t>(mid),
+                     parts.end(), [dim](const Particle& a, const Particle& b) {
+                       return a.position[dim] < b.position[dim];
+                     });
+    const double plane = parts[mid].position[dim];
+    r.offsets = {0, mid, parts.size()};
+    r.boxes[0] = box;
+    r.boxes[0].greater_corner[dim] = plane;
+    r.boxes[1] = box;
+    r.boxes[1].lesser_corner[dim] = plane;
+    return r;
+  }
+};
+
+/// Longest-dimension tree policy (the case-study tree of Section IV):
+/// binary median splits always along the longest side of the node's box.
+/// On flattened (disk-like) domains this avoids the useless z-branching
+/// an octree would do.
+class LongestDimTreeType : public KdTreeType {
+ public:
+  SplitResult split(Key /*key*/, const OrientedBox& box, int /*depth*/,
+                    std::span<Particle> parts) const {
+    return medianSplit(box, parts, box.longestDimension());
+  }
+};
+
+}  // namespace paratreet

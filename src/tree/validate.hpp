@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tree/node.hpp"
+
+namespace paratreet {
+
+/// Structural-invariant checker for locally built trees; used by tests and
+/// by debug assertions in the examples. Returns an empty string when all
+/// invariants hold, else a description of the first violation.
+///
+/// Checked invariants:
+///  - leaf particle counts match the node's n_particles
+///  - every leaf particle position lies inside the leaf's box
+///  - child boxes are contained in the parent box
+///  - internal n_particles equals the sum over children
+///  - parent pointers are consistent with child links
+template <typename Data>
+std::string validateTree(const Node<Data>* root) {
+  if (root == nullptr) return "null root";
+  std::function<std::string(const Node<Data>*)> check =
+      [&](const Node<Data>* n) -> std::string {
+    using std::to_string;
+    if (n->leaf()) {
+      if (n->type == NodeType::kEmptyLeaf && n->n_particles != 0) {
+        return "empty leaf with particles at key " + to_string(n->key);
+      }
+      for (int i = 0; i < n->n_particles; ++i) {
+        if (!n->box.contains(n->particles[i].position)) {
+          return "particle outside leaf box at key " + to_string(n->key);
+        }
+      }
+      return {};
+    }
+    if (n->placeholder()) return {};  // remote contents not visible locally
+    int total = 0;
+    for (int c = 0; c < n->n_children; ++c) {
+      const Node<Data>* child = n->child(c);
+      if (child == nullptr) return "missing child at key " + to_string(n->key);
+      if (child->parent != n) {
+        return "bad parent link at key " + to_string(child->key);
+      }
+      if (!child->placeholder() && !n->box.contains(child->box)) {
+        return "child box escapes parent at key " + to_string(child->key);
+      }
+      total += child->n_particles;
+      if (auto err = check(child); !err.empty()) return err;
+    }
+    if (total != n->n_particles) {
+      return "particle count mismatch at key " + to_string(n->key) + ": " +
+             to_string(total) + " vs " + to_string(n->n_particles);
+    }
+    return {};
+  };
+  return check(root);
+}
+
+/// Count nodes of the local tree (placeholders included).
+template <typename Data>
+std::size_t countNodes(const Node<Data>* root) {
+  if (!root) return 0;
+  std::size_t n = 1;
+  if (!root->leaf() && !root->placeholder()) {
+    for (int c = 0; c < root->n_children; ++c) n += countNodes(root->child(c));
+  }
+  return n;
+}
+
+/// Visit every leaf of a local tree.
+template <typename Data, typename Fn>
+void forEachLeaf(Node<Data>* root, Fn&& fn) {
+  if (!root) return;
+  if (root->leaf()) {
+    fn(root);
+    return;
+  }
+  if (root->placeholder()) return;
+  for (int c = 0; c < root->n_children; ++c) {
+    forEachLeaf(root->child(c), fn);
+  }
+}
+
+}  // namespace paratreet

@@ -1,0 +1,148 @@
+#include "util/distributions.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace paratreet {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+OrientedBox InitialConditions::boundingBox() const {
+  OrientedBox box;
+  for (const auto& p : positions) box.grow(p);
+  return box;
+}
+
+InitialConditions uniformCube(std::size_t n, std::uint64_t seed,
+                              const OrientedBox& box, double total_mass) {
+  Rng rng(seed);
+  InitialConditions ic;
+  ic.positions.reserve(n);
+  ic.velocities.assign(n, Vec3{});
+  ic.masses.assign(n, n ? total_mass / static_cast<double>(n) : 0.0);
+  const Vec3 lo = box.lesser_corner, size = box.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ic.positions.push_back({lo.x + size.x * rng.uniform(),
+                            lo.y + size.y * rng.uniform(),
+                            lo.z + size.z * rng.uniform()});
+  }
+  return ic;
+}
+
+namespace {
+
+/// Sample a radius from the Plummer profile via the inverse CDF,
+/// truncated at 10 scale radii to keep the bounding box sane.
+double plummerRadius(Rng& rng, double scale) {
+  double r;
+  do {
+    double u = rng.uniform();
+    while (u <= 0.0 || u >= 1.0) u = rng.uniform();
+    r = scale / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+  } while (r > 10.0 * scale);
+  return r;
+}
+
+/// A uniformly random direction on the unit sphere.
+Vec3 randomDirection(Rng& rng) {
+  const double z = rng.uniform(-1.0, 1.0);
+  const double phi = rng.uniform(0.0, 2.0 * kPi);
+  const double s = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {s * std::cos(phi), s * std::sin(phi), z};
+}
+
+}  // namespace
+
+InitialConditions plummer(std::size_t n, std::uint64_t seed, double scale,
+                          double total_mass) {
+  Rng rng(seed);
+  InitialConditions ic;
+  ic.positions.reserve(n);
+  ic.velocities.assign(n, Vec3{});
+  ic.masses.assign(n, n ? total_mass / static_cast<double>(n) : 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ic.positions.push_back(randomDirection(rng) * plummerRadius(rng, scale));
+  }
+  return ic;
+}
+
+InitialConditions clustered(std::size_t n, std::uint64_t seed,
+                            std::size_t n_clusters, double cluster_scale) {
+  Rng rng(seed);
+  InitialConditions ic;
+  ic.positions.reserve(n);
+  ic.velocities.assign(n, Vec3{});
+  ic.masses.assign(n, n ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n_clusters == 0) n_clusters = 1;
+  std::vector<Vec3> centers;
+  centers.reserve(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    centers.push_back({rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4),
+                       rng.uniform(-0.4, 0.4)});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3& c = centers[rng.below(n_clusters)];
+    ic.positions.push_back(c + randomDirection(rng) *
+                                   plummerRadius(rng, cluster_scale));
+  }
+  return ic;
+}
+
+InitialConditions planetesimalDisk(std::size_t n, std::uint64_t seed,
+                                   const DiskParams& p) {
+  Rng rng(seed);
+  InitialConditions ic;
+  const std::size_t total = n + 2;
+  ic.positions.reserve(total);
+  ic.velocities.reserve(total);
+  ic.masses.reserve(total);
+  ic.radii.reserve(total);
+
+  const double gm = kGravAuMsunYr * p.star_mass;
+
+  // Body 0: the star, pinned at the origin of the (approximately inertial)
+  // frame. Body 1: the perturbing planet on a circular orbit.
+  ic.positions.push_back({0, 0, 0});
+  ic.velocities.push_back({0, 0, 0});
+  ic.masses.push_back(p.star_mass);
+  ic.radii.push_back(0.005);
+
+  const double v_planet = std::sqrt(gm / p.planet_a);
+  ic.positions.push_back({p.planet_a, 0, 0});
+  ic.velocities.push_back({0, v_planet, 0});
+  ic.masses.push_back(p.planet_mass);
+  ic.radii.push_back(5e-4);
+
+  // Planetesimals: radius sampled so the surface density follows
+  // Sigma(r) ~ r^alpha, i.e. P(r) ~ r^(alpha+1); sampled by inverse CDF.
+  const double beta = p.surface_density_exponent + 2.0;  // exponent of the CDF power law
+  const double r_in_b = std::pow(p.inner_radius, beta);
+  const double r_out_b = std::pow(p.outer_radius, beta);
+  const double m_body = n ? p.disk_mass / static_cast<double>(n) : 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    const double r = std::pow(r_in_b + u * (r_out_b - r_in_b), 1.0 / beta);
+    const double theta = rng.uniform(0.0, 2.0 * kPi);
+    const double z = r * p.inclination_sigma * rng.normal();
+    ic.positions.push_back({r * std::cos(theta), r * std::sin(theta), z});
+
+    // Circular Keplerian speed with a small epicyclic perturbation so the
+    // disk has a velocity dispersion (eccentricity_sigma).
+    const double v_circ = std::sqrt(gm / r);
+    const double dv_r = v_circ * p.eccentricity_sigma * rng.normal();
+    const double dv_t = v_circ * 0.5 * p.eccentricity_sigma * rng.normal();
+    const double ct = std::cos(theta), st = std::sin(theta);
+    ic.velocities.push_back({-(v_circ + dv_t) * st + dv_r * ct,
+                             (v_circ + dv_t) * ct + dv_r * st,
+                             v_circ * p.inclination_sigma * rng.normal()});
+    ic.masses.push_back(m_body);
+    ic.radii.push_back(p.body_radius);
+  }
+  return ic;
+}
+
+}  // namespace paratreet

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/box.hpp"
+#include "util/vector3.hpp"
+
+namespace paratreet {
+
+/// Plain initial conditions for a particle set, produced by the synthetic
+/// dataset generators. These stand in for the paper's simulation snapshots
+/// (80M uniform volume, clustered datasets, 33M cosmological gas volume,
+/// 10M/50M planetesimal disks), at sizes a single node handles.
+struct InitialConditions {
+  std::vector<Vec3> positions;
+  std::vector<Vec3> velocities;
+  std::vector<double> masses;
+  /// Physical radii; nonzero only for solid-body (collision) workloads.
+  std::vector<double> radii;
+
+  std::size_t size() const { return positions.size(); }
+  /// Bounding box of all positions.
+  OrientedBox boundingBox() const;
+};
+
+/// Parameters of the planetesimal-disk generator (Section IV of the paper):
+/// an annular disk of solid bodies around a solar-mass star with a
+/// Jupiter-mass perturber on a circular orbit. Units: AU, years, solar
+/// masses, so G = 4*pi^2.
+struct DiskParams {
+  double inner_radius = 2.0;      ///< inner disk edge [AU]
+  double outer_radius = 4.0;      ///< outer disk edge [AU]
+  double planet_a = 5.2;          ///< perturber semi-major axis [AU]
+  double planet_mass = 9.54e-4;   ///< Jupiter mass [Msun]
+  double star_mass = 1.0;         ///< central star [Msun]
+  double disk_mass = 1.0e-7;      ///< total planetesimal mass [Msun]
+  double body_radius = 3.3e-7;    ///< ~50 km in AU
+  double eccentricity_sigma = 1e-3;
+  double inclination_sigma = 5e-4;
+  double surface_density_exponent = -1.5;  ///< Sigma(r) ~ r^exponent
+};
+
+/// Newton's constant in AU^3 / (Msun * yr^2).
+inline constexpr double kGravAuMsunYr = 4.0 * 3.14159265358979323846 *
+                                        3.14159265358979323846;
+
+/// Uniformly random positions in `box`, equal masses summing to
+/// `total_mass`, zero velocities. Stands in for the paper's "uniform
+/// particle distribution representing a volume of the present-day
+/// Universe" (Fig 10).
+InitialConditions uniformCube(std::size_t n, std::uint64_t seed,
+                              const OrientedBox& box = {Vec3(-0.5), Vec3(0.5)},
+                              double total_mass = 1.0);
+
+/// A single Plummer sphere: the classic centrally-concentrated cluster
+/// model. Positions follow the Plummer density profile with scale radius
+/// `scale`; velocities are zero (the traversal benchmarks do not integrate).
+InitialConditions plummer(std::size_t n, std::uint64_t seed,
+                          double scale = 0.1, double total_mass = 1.0);
+
+/// A clustered dataset: `n_clusters` Plummer spheres with random centers
+/// inside the unit box. Stands in for the paper's "clustered dataset"
+/// used in the cache-model comparison (Fig 3).
+InitialConditions clustered(std::size_t n, std::uint64_t seed,
+                            std::size_t n_clusters = 32,
+                            double cluster_scale = 0.02);
+
+/// A planetesimal disk with a central star (body 0) and a giant-planet
+/// perturber (body 1), followed by `n` planetesimals on near-circular,
+/// near-coplanar Keplerian orbits (Section IV / Figs 12-13).
+InitialConditions planetesimalDisk(std::size_t n, std::uint64_t seed,
+                                   const DiskParams& params = {});
+
+}  // namespace paratreet

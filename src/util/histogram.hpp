@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace paratreet {
+
+/// Fixed-width binned histogram over [lo, hi). Out-of-range samples are
+/// clamped into the first/last bin. Used for collision profiles (Fig 12)
+/// and load-distribution diagnostics.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    assert(bins > 0 && hi > lo);
+  }
+
+  /// Record one sample.
+  void add(double x) { counts_[binIndex(x)]++; }
+
+  /// Record a weighted sample count.
+  void add(double x, std::size_t weight) { counts_[binIndex(x)] += weight; }
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  /// Center coordinate of bin `i`.
+  double binCenter(std::size_t i) const {
+    return lo_ + (static_cast<double>(i) + 0.5) * width();
+  }
+  double width() const {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+  std::size_t total() const {
+    std::size_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+ private:
+  std::size_t binIndex(double x) const {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    auto i = static_cast<std::size_t>((x - lo_) / width());
+    return i < counts_.size() ? i : counts_.size() - 1;
+  }
+
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace paratreet

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cassert>
+
+#include "util/box.hpp"
+#include "util/vector3.hpp"
+
+namespace paratreet {
+
+/// Tree-node / space-filling-curve key.
+///
+/// Keys are 1-prefixed bit paths, the classic hashed-octree encoding of
+/// Warren & Salmon: the root is `1`, and the i-th child of `k` (with `b`
+/// bits per level, i.e. branch factor 2^b) is `(k << b) | i`. The leading
+/// 1 bit marks the key's depth, so keys of different levels never collide.
+///
+/// Octrees use b = 3, binary trees (k-d, longest-dimension) use b = 1.
+using Key = std::uint64_t;
+
+namespace keys {
+
+inline constexpr Key kRoot = 1;
+/// Bits per Morton dimension: 21 bits x 3 dims = 63 usable bits.
+inline constexpr int kMortonBitsPerDim = 21;
+inline constexpr int kMortonBits = 3 * kMortonBitsPerDim;
+
+/// The i-th child of `parent` for a tree with 2^bits_per_level children.
+constexpr Key child(Key parent, unsigned i, int bits_per_level) {
+  return (parent << bits_per_level) | i;
+}
+
+/// The parent of `k`.
+constexpr Key parent(Key k, int bits_per_level) {
+  return k >> bits_per_level;
+}
+
+/// Depth of `k`: the root is level 0.
+constexpr int level(Key k, int bits_per_level) {
+  assert(k != 0);
+  const int used = 63 - std::countl_zero(k);
+  return used / bits_per_level;
+}
+
+/// Index of `k` within its parent's children (0 .. 2^bits_per_level - 1).
+constexpr unsigned childIndex(Key k, int bits_per_level) {
+  return static_cast<unsigned>(k & ((Key{1} << bits_per_level) - 1));
+}
+
+/// True if `a` is an ancestor of (or equal to) `b`.
+constexpr bool isAncestorOf(Key a, Key b, int bits_per_level) {
+  const int la = level(a, bits_per_level), lb = level(b, bits_per_level);
+  if (la > lb) return false;
+  return (b >> ((lb - la) * bits_per_level)) == a;
+}
+
+/// Spread the low 21 bits of `v` so each bit lands every 3rd position.
+constexpr std::uint64_t spreadBits3(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of spreadBits3: gather every 3rd bit into the low 21 bits.
+constexpr std::uint64_t gatherBits3(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v | (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v | (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v | (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v | (v >> 32)) & 0x1fffff;
+  return v;
+}
+
+/// 63-bit Morton (Z-order) code of a position inside `universe`.
+///
+/// This is the particle's space-filling-curve key used for SFC
+/// decomposition and for octree construction: the first 3L bits select
+/// the position's octree node at level L.
+inline std::uint64_t mortonKey(const Vec3& p, const OrientedBox& universe) {
+  const Vec3 size = universe.size();
+  std::uint64_t ix[3];
+  for (std::size_t d = 0; d < 3; ++d) {
+    const double extent = size[d] > 0.0 ? size[d] : 1.0;
+    double t = (p[d] - universe.lesser_corner[d]) / extent;
+    if (t < 0.0) t = 0.0;
+    if (t > 1.0) t = 1.0;
+    auto v = static_cast<std::uint64_t>(t * static_cast<double>(1u << kMortonBitsPerDim));
+    // Clamp positions exactly on the greater corner into the last cell.
+    if (v >= (1u << kMortonBitsPerDim)) v = (1u << kMortonBitsPerDim) - 1;
+    ix[d] = v;
+  }
+  // x occupies the most significant bit of each triple so that the first
+  // split of the octree is along x, matching boxForKey() below.
+  return (spreadBits3(ix[0]) << 2) | (spreadBits3(ix[1]) << 1) | spreadBits3(ix[2]);
+}
+
+/// The octree-node key at `level` containing the Morton code `morton`.
+constexpr Key octKeyAtLevel(std::uint64_t morton, int level) {
+  assert(level >= 0 && 3 * level <= kMortonBits);
+  return (Key{1} << (3 * level)) | (morton >> (kMortonBits - 3 * level));
+}
+
+/// Reconstruct the spatial box of an octree node key inside `universe`.
+inline OrientedBox boxForOctKey(Key k, const OrientedBox& universe) {
+  OrientedBox box = universe;
+  const int lvl = level(k, 3);
+  for (int l = lvl - 1; l >= 0; --l) {
+    const unsigned octant = static_cast<unsigned>((k >> (3 * l)) & 0x7);
+    const Vec3 mid = box.center();
+    // Bit 2 selects the x half, bit 1 the y half, bit 0 the z half.
+    for (std::size_t d = 0; d < 3; ++d) {
+      const bool upper = (octant >> (2 - d)) & 1u;
+      if (upper) box.lesser_corner[d] = mid[d];
+      else box.greater_corner[d] = mid[d];
+    }
+  }
+  return box;
+}
+
+}  // namespace keys
+
+}  // namespace paratreet

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace paratreet {
+
+/// A vector with inline storage for up to `N` elements, spilling to the
+/// heap beyond that. Used on traversal hot paths (per-node bucket lists,
+/// child work lists) where almost all instances stay tiny and a heap
+/// allocation per node would dominate.
+///
+/// Only the operations the framework needs are implemented; `T` must be
+/// nothrow-move-constructible.
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_nothrow_move_constructible_v<T>);
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& o) {
+    reserve(o.size_);
+    for (std::size_t i = 0; i < o.size_; ++i) push_back(o[i]);
+  }
+
+  SmallVector(SmallVector&& o) noexcept { moveFrom(std::move(o)); }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) {
+      clear();
+      reserve(o.size_);
+      for (std::size_t i = 0; i < o.size_; ++i) push_back(o[i]);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      destroyAll();
+      moveFrom(std::move(o));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroyAll(); }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T* data() { return heap_ ? heap_ : inlineData(); }
+  const T* data() const { return heap_ ? heap_ : inlineData(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& back() {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+  const T& back() const {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data()[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+ private:
+  T* inlineData() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* inlineData() const {
+    return std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void grow(std::size_t new_cap) {
+    new_cap = std::max(new_cap, N + 1);
+    T* mem = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    T* old = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(mem + i)) T(std::move(old[i]));
+      old[i].~T();
+    }
+    freeHeap();
+    heap_ = mem;
+    capacity_ = new_cap;
+  }
+
+  void destroyAll() {
+    clear();
+    freeHeap();
+    heap_ = nullptr;
+    capacity_ = N;
+  }
+
+  void freeHeap() {
+    if (heap_) ::operator delete(heap_, std::align_val_t{alignof(T)});
+  }
+
+  void moveFrom(SmallVector&& o) noexcept {
+    if (o.heap_) {
+      heap_ = o.heap_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.capacity_ = N;
+      o.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = o.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        ::new (static_cast<void*>(inlineData() + i)) T(std::move(o.inlineData()[i]));
+        o.inlineData()[i].~T();
+      }
+      o.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_{nullptr};
+  std::size_t size_{0};
+  std::size_t capacity_{N};
+};
+
+}  // namespace paratreet

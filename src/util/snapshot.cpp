@@ -1,0 +1,96 @@
+#include "util/snapshot.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace paratreet {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5054524545543031ULL;  // "PTREET01"
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t count;
+};
+
+struct Record {
+  double px, py, pz;
+  double vx, vy, vz;
+  double mass;
+  double radius;
+};
+
+}  // namespace
+
+void saveSnapshot(const std::string& path, const InitialConditions& ic) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  Header header{kMagic, kVersion, 0, ic.size()};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (std::size_t i = 0; i < ic.size(); ++i) {
+    Record rec{};
+    rec.px = ic.positions[i].x;
+    rec.py = ic.positions[i].y;
+    rec.pz = ic.positions[i].z;
+    if (i < ic.velocities.size()) {
+      rec.vx = ic.velocities[i].x;
+      rec.vy = ic.velocities[i].y;
+      rec.vz = ic.velocities[i].z;
+    }
+    rec.mass = i < ic.masses.size() ? ic.masses[i] : 0.0;
+    rec.radius = i < ic.radii.size() ? ic.radii[i] : 0.0;
+    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+InitialConditions loadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open snapshot: " + path);
+  Header header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || header.magic != kMagic) {
+    throw std::runtime_error("not a ParaTreeT snapshot: " + path);
+  }
+  if (header.version != kVersion) {
+    throw std::runtime_error("unsupported snapshot version in " + path);
+  }
+  InitialConditions ic;
+  ic.positions.reserve(header.count);
+  ic.velocities.reserve(header.count);
+  ic.masses.reserve(header.count);
+  ic.radii.reserve(header.count);
+  for (std::uint64_t i = 0; i < header.count; ++i) {
+    Record rec{};
+    in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
+    if (!in) throw std::runtime_error("truncated snapshot: " + path);
+    ic.positions.push_back({rec.px, rec.py, rec.pz});
+    ic.velocities.push_back({rec.vx, rec.vy, rec.vz});
+    ic.masses.push_back(rec.mass);
+    ic.radii.push_back(rec.radius);
+  }
+  return ic;
+}
+
+void exportCsv(const std::string& path, const InitialConditions& ic) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << "# x y z vx vy vz mass radius\n";
+  for (std::size_t i = 0; i < ic.size(); ++i) {
+    const Vec3 v = i < ic.velocities.size() ? ic.velocities[i] : Vec3{};
+    out << ic.positions[i].x << ' ' << ic.positions[i].y << ' '
+        << ic.positions[i].z << ' ' << v.x << ' ' << v.y << ' ' << v.z << ' '
+        << (i < ic.masses.size() ? ic.masses[i] : 0.0) << ' '
+        << (i < ic.radii.size() ? ic.radii[i] : 0.0) << '\n';
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace paratreet

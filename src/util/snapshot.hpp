@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "util/distributions.hpp"
+
+namespace paratreet {
+
+/// Simple binary snapshot format for particle initial conditions, filling
+/// the role of the paper's `conf.input_file` (tipsy snapshots in the
+/// original): a fixed header (magic, version, count) followed by packed
+/// per-particle records (position, velocity, mass, radius), all
+/// little-endian doubles.
+///
+/// Throws std::runtime_error on malformed files or I/O failure.
+void saveSnapshot(const std::string& path, const InitialConditions& ic);
+InitialConditions loadSnapshot(const std::string& path);
+
+/// Text export for external analysis: one "x y z vx vy vz mass radius"
+/// row per particle, with a '#' header line.
+void exportCsv(const std::string& path, const InitialConditions& ic);
+
+}  // namespace paratreet

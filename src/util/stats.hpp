@@ -1,0 +1,40 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace paratreet {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Used by benchmark harnesses to report iteration-time statistics.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::max()};
+  double max_{std::numeric_limits<double>::lowest()};
+};
+
+}  // namespace paratreet

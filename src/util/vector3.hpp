@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+#include <ostream>
+
+namespace paratreet {
+
+/// A 3-component vector over an arithmetic scalar type.
+///
+/// This is the basic geometric building block used for particle positions,
+/// velocities, accelerations, and moment accumulation. All operations are
+/// constexpr-friendly and intentionally simple so that compilers can
+/// vectorize the surrounding loops (per the paper's node()/leaf() split).
+template <typename T>
+struct Vector3 {
+  T x{};
+  T y{};
+  T z{};
+
+  constexpr Vector3() = default;
+  constexpr Vector3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  /// Broadcast constructor: all three components set to `v`.
+  constexpr explicit Vector3(T v) : x(v), y(v), z(v) {}
+
+  constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vector3& operator+=(const Vector3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vector3& operator-=(const Vector3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vector3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vector3& operator/=(T s) {
+    x /= s; y /= s; z /= s;
+    return *this;
+  }
+
+  friend constexpr Vector3 operator+(Vector3 a, const Vector3& b) { return a += b; }
+  friend constexpr Vector3 operator-(Vector3 a, const Vector3& b) { return a -= b; }
+  friend constexpr Vector3 operator*(Vector3 a, T s) { return a *= s; }
+  friend constexpr Vector3 operator*(T s, Vector3 a) { return a *= s; }
+  friend constexpr Vector3 operator/(Vector3 a, T s) { return a /= s; }
+  friend constexpr Vector3 operator-(const Vector3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vector3&, const Vector3&) = default;
+
+  /// Dot product.
+  constexpr T dot(const Vector3& o) const { return x * o.x + y * o.y + z * o.z; }
+  /// Cross product.
+  constexpr Vector3 cross(const Vector3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  /// Squared Euclidean norm. Cheaper than length(); prefer in hot paths.
+  constexpr T lengthSquared() const { return dot(*this); }
+  /// Euclidean norm.
+  T length() const { return std::sqrt(lengthSquared()); }
+  /// Index (0..2) of the component with the largest magnitude extent.
+  constexpr std::size_t longestDimension() const {
+    const T ax = x < T{} ? -x : x, ay = y < T{} ? -y : y, az = z < T{} ? -z : z;
+    if (ax >= ay && ax >= az) return 0;
+    return ay >= az ? 1 : 2;
+  }
+};
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vector3<T>& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+using Vec3 = Vector3<double>;
+
+/// Squared distance between two points.
+template <typename T>
+constexpr T distanceSquared(const Vector3<T>& a, const Vector3<T>& b) {
+  return (a - b).lengthSquared();
+}
+
+}  // namespace paratreet

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cachesim/cachesim.hpp"
+
+namespace paratreet::cachesim {
+namespace {
+
+LevelConfig tiny() { return {4 * 64, 64, 2}; }  // 4 lines, 2-way, 2 sets
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(tiny());
+  EXPECT_FALSE(c.accessLine(0, false));
+  EXPECT_TRUE(c.accessLine(0, false));
+  EXPECT_EQ(c.stats().load_accesses, 2u);
+  EXPECT_EQ(c.stats().load_misses, 1u);
+}
+
+TEST(Cache, LoadAndStoreCountedSeparately) {
+  Cache c(tiny());
+  c.accessLine(1, true);
+  c.accessLine(1, true);
+  c.accessLine(1, false);
+  EXPECT_EQ(c.stats().store_accesses, 2u);
+  EXPECT_EQ(c.stats().store_misses, 1u);
+  EXPECT_EQ(c.stats().load_accesses, 1u);
+  EXPECT_EQ(c.stats().load_misses, 0u);  // write-allocate installed it
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(tiny());  // 2 sets, 2 ways; even lines -> set 0
+  EXPECT_FALSE(c.accessLine(0, false));
+  EXPECT_FALSE(c.accessLine(2, false));
+  EXPECT_TRUE(c.accessLine(0, false));   // 0 is now MRU
+  EXPECT_FALSE(c.accessLine(4, false));  // evicts 2 (LRU)
+  EXPECT_TRUE(c.accessLine(0, false));
+  EXPECT_FALSE(c.accessLine(2, false));  // 2 was evicted
+}
+
+TEST(Cache, SetsIsolateAddresses) {
+  Cache c(tiny());
+  // Odd lines map to set 1, evictions in set 0 don't touch them.
+  c.accessLine(1, false);
+  c.accessLine(0, false);
+  c.accessLine(2, false);
+  c.accessLine(4, false);
+  EXPECT_TRUE(c.accessLine(1, false));
+}
+
+TEST(Cache, MissRateComputation) {
+  Cache c(tiny());
+  for (int i = 0; i < 10; ++i) c.accessLine(static_cast<std::uint64_t>(i * 2), false);
+  // 10 distinct lines into a 4-line cache: all miss.
+  EXPECT_DOUBLE_EQ(c.stats().loadMissRate(), 1.0);
+  EXPECT_DOUBLE_EQ(LevelStats{}.loadMissRate(), 0.0);
+  c.resetStats();
+  EXPECT_EQ(c.stats().load_accesses, 0u);
+}
+
+TEST(SmpHierarchy, PrivateL1SharedL3) {
+  SkxConfig config;
+  config.l1 = {2 * 64, 64, 2};  // 2-line L1
+  config.l2 = {4 * 64, 64, 2};
+  config.l3 = {64 * 64, 64, 4};
+  SmpHierarchy smp(2, config);
+  int x = 0;
+  // CPU 0 warms the line through to L3.
+  smp.load(0, &x, 4);
+  EXPECT_EQ(smp.l1Stats().load_misses, 1u);
+  EXPECT_EQ(smp.l3Stats().load_misses, 1u);
+  // CPU 1 misses privately but hits the shared L3.
+  smp.load(1, &x, 4);
+  EXPECT_EQ(smp.l1Stats().load_misses, 2u);
+  EXPECT_EQ(smp.l2Stats().load_misses, 2u);
+  EXPECT_EQ(smp.l3Stats().load_misses, 1u);  // still just the first
+}
+
+TEST(SmpHierarchy, AccessSpanningLinesTouchesEach) {
+  SmpHierarchy smp(1);
+  alignas(64) unsigned char buf[256];
+  smp.load(0, buf, 160);  // 3 lines at 64B
+  EXPECT_EQ(smp.l1Stats().load_accesses, 3u);
+}
+
+TEST(SmpHierarchy, CyclesGrowWithMisses) {
+  SkxConfig config;
+  config.l1 = {2 * 64, 64, 2};
+  SmpHierarchy smp(1, config);
+  std::vector<unsigned char> buf(1 << 20);
+  // Stream once: mostly cold misses -> expensive.
+  for (std::size_t i = 0; i < buf.size(); i += 64) smp.load(0, &buf[i], 1);
+  const double cold = smp.cpuCycles(0);
+  smp.resetStats();
+  // Hammer one line: all L1 hits -> cheap.
+  for (int i = 0; i < 16384; ++i) smp.load(0, buf.data(), 1);
+  EXPECT_LT(smp.cpuCycles(0), cold);
+  EXPECT_DOUBLE_EQ(smp.maxCpuCycles(), smp.cpuCycles(0));
+}
+
+TEST(SmpHierarchy, StoreMissRateCombinesL1L2) {
+  SmpHierarchy smp(1);
+  int data[64];
+  smp.store(0, data, 4);
+  smp.store(0, data, 4);
+  // 1 L1 store miss of 2 accesses; L2 saw 1 access (1 miss).
+  EXPECT_NEAR(smp.storeL1L2MissRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SmpHierarchy, WorkingSetFitsInL2NotL1) {
+  // A working set larger than L1 but smaller than L2: repeated sweeps
+  // miss in L1 and hit in L2.
+  SkxConfig config;
+  config.l1 = {4 * 64, 64, 4};     // 256 B
+  config.l2 = {256 * 64, 64, 8};   // 16 KB
+  SmpHierarchy smp(1, config);
+  std::vector<unsigned char> buf(4096);  // 64 lines
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    for (std::size_t i = 0; i < buf.size(); i += 64) smp.load(0, &buf[i], 1);
+  }
+  const auto l1 = smp.l1Stats();
+  const auto l2 = smp.l2Stats();
+  EXPECT_GT(l1.loadMissRate(), 0.9);       // thrashes L1
+  EXPECT_LT(l2.loadMissRate(), 0.2);       // lives in L2 after sweep 1
+}
+
+TEST(SkxConfig, DefaultsMatchTableCaption) {
+  // Table II caption: 32KB L1D, 1024KB L2, 33MB L3.
+  SkxConfig config;
+  EXPECT_EQ(config.l1.capacity_bytes, 32u * 1024);
+  EXPECT_EQ(config.l2.capacity_bytes, 1024u * 1024);
+  EXPECT_EQ(config.l3.capacity_bytes, 33u * 1024 * 1024);
+}
+
+TEST(LevelStats, Accumulate) {
+  LevelStats a{10, 2, 4, 1};
+  LevelStats b{30, 8, 6, 3};
+  a += b;
+  EXPECT_EQ(a.load_accesses, 40u);
+  EXPECT_EQ(a.load_misses, 10u);
+  EXPECT_EQ(a.store_accesses, 10u);
+  EXPECT_EQ(a.store_misses, 4u);
+  EXPECT_DOUBLE_EQ(a.loadMissRate(), 0.25);
+  EXPECT_DOUBLE_EQ(a.storeMissRate(), 0.4);
+}
+
+}  // namespace
+}  // namespace paratreet::cachesim

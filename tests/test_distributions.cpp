@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/stats.hpp"
+
+namespace paratreet {
+namespace {
+
+TEST(UniformCube, SizesAndMass) {
+  const auto ic = uniformCube(1000, 1);
+  EXPECT_EQ(ic.size(), 1000u);
+  EXPECT_EQ(ic.positions.size(), 1000u);
+  EXPECT_EQ(ic.velocities.size(), 1000u);
+  EXPECT_EQ(ic.masses.size(), 1000u);
+  double total = 0;
+  for (double m : ic.masses) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(UniformCube, StaysInsideBox) {
+  const OrientedBox box{Vec3(-2, 0, 1), Vec3(-1, 5, 3)};
+  const auto ic = uniformCube(500, 2, box);
+  for (const auto& p : ic.positions) EXPECT_TRUE(box.contains(p));
+}
+
+TEST(UniformCube, Deterministic) {
+  const auto a = uniformCube(100, 42);
+  const auto b = uniformCube(100, 42);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a.positions[i], b.positions[i]);
+  const auto c = uniformCube(100, 43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (!(a.positions[i] == c.positions[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(UniformCube, RoughlyUniformOctants) {
+  const auto ic = uniformCube(8000, 3);
+  int count_high_x = 0;
+  for (const auto& p : ic.positions) {
+    if (p.x > 0) ++count_high_x;
+  }
+  EXPECT_NEAR(count_high_x, 4000, 300);
+}
+
+TEST(Plummer, CentrallyConcentrated) {
+  const auto ic = plummer(4000, 4, 0.1);
+  std::size_t inner = 0, outer = 0;
+  for (const auto& p : ic.positions) {
+    const double r = p.length();
+    if (r < 0.1) ++inner;
+    if (r > 0.5) ++outer;
+    EXPECT_LE(r, 1.0 + 1e-9);  // truncated at 10 scale radii
+  }
+  // Half the mass lies within ~1.3 scale radii for a Plummer sphere.
+  EXPECT_GT(inner, outer);
+  EXPECT_GT(inner, 1000u);
+}
+
+TEST(Plummer, BoundingBoxScalesWithScaleRadius) {
+  const auto small = plummer(1000, 5, 0.01);
+  const auto big = plummer(1000, 5, 0.1);
+  EXPECT_LT(small.boundingBox().volume(), big.boundingBox().volume());
+}
+
+TEST(Clustered, HasClumpsDenserThanUniform) {
+  const auto clumped = clustered(4000, 6, 8, 0.02);
+  // Measure concentration: mean nearest-cluster distance is small, so the
+  // bounding box is similar to uniform but the mean pairwise distance to
+  // the nearest of 8 centers is tiny. Use a cheap proxy: count pairs of
+  // consecutive particles closer than 0.01 (clustered >> uniform).
+  const auto uniform = uniformCube(4000, 6);
+  auto close_pairs = [](const InitialConditions& ic) {
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < ic.size(); ++i) {
+      if (distanceSquared(ic.positions[i], ic.positions[i - 1]) < 1e-4) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(close_pairs(clumped), close_pairs(uniform) * 5 + 10);
+}
+
+TEST(Clustered, ZeroClustersClampsToOne) {
+  const auto ic = clustered(100, 7, 0);
+  EXPECT_EQ(ic.size(), 100u);
+}
+
+TEST(PlanetesimalDisk, StructureAndUnits) {
+  DiskParams params;
+  const auto ic = planetesimalDisk(1000, 8, params);
+  ASSERT_EQ(ic.size(), 1002u);  // star + planet + n
+  // Star at origin with solar mass.
+  EXPECT_EQ(ic.positions[0], Vec3(0, 0, 0));
+  EXPECT_DOUBLE_EQ(ic.masses[0], 1.0);
+  // Planet on a circular orbit at a: v = sqrt(GM/a).
+  EXPECT_DOUBLE_EQ(ic.positions[1].x, params.planet_a);
+  const double v_expect = std::sqrt(kGravAuMsunYr / params.planet_a);
+  EXPECT_NEAR(ic.velocities[1].y, v_expect, 1e-12);
+}
+
+TEST(PlanetesimalDisk, BodiesInsideAnnulus) {
+  DiskParams params;
+  const auto ic = planetesimalDisk(2000, 9, params);
+  for (std::size_t i = 2; i < ic.size(); ++i) {
+    const double r = std::sqrt(ic.positions[i].x * ic.positions[i].x +
+                               ic.positions[i].y * ic.positions[i].y);
+    EXPECT_GE(r, params.inner_radius * 0.999);
+    EXPECT_LE(r, params.outer_radius * 1.001);
+    // Thin disk: |z| << r.
+    EXPECT_LT(std::abs(ic.positions[i].z), 0.1 * r);
+  }
+}
+
+TEST(PlanetesimalDisk, NearKeplerianSpeeds) {
+  DiskParams params;
+  const auto ic = planetesimalDisk(2000, 10, params);
+  RunningStats rel_err;
+  for (std::size_t i = 2; i < ic.size(); ++i) {
+    const double r = std::sqrt(ic.positions[i].x * ic.positions[i].x +
+                               ic.positions[i].y * ic.positions[i].y);
+    const double v = ic.velocities[i].length();
+    const double v_kep = std::sqrt(kGravAuMsunYr / r);
+    rel_err.add(std::abs(v - v_kep) / v_kep);
+  }
+  EXPECT_LT(rel_err.mean(), 0.01);
+}
+
+TEST(PlanetesimalDisk, SurfaceDensityFallsOutward) {
+  DiskParams params;
+  params.inner_radius = 1.0;
+  params.outer_radius = 4.0;
+  const auto ic = planetesimalDisk(20000, 11, params);
+  // With Sigma ~ r^-1.5, counts per radial annulus of equal width fall
+  // as r^-0.5: inner annulus [1,2] should outnumber outer [3,4].
+  std::size_t inner = 0, outer = 0;
+  for (std::size_t i = 2; i < ic.size(); ++i) {
+    const double r = std::sqrt(ic.positions[i].x * ic.positions[i].x +
+                               ic.positions[i].y * ic.positions[i].y);
+    if (r < 2.0) ++inner;
+    else if (r > 3.0) ++outer;
+  }
+  EXPECT_GT(inner, outer);
+}
+
+TEST(InitialConditions, BoundingBox) {
+  InitialConditions ic;
+  ic.positions = {{0, 0, 0}, {1, 2, 3}, {-1, 0, 5}};
+  const auto box = ic.boundingBox();
+  EXPECT_EQ(box.lesser_corner, Vec3(-1, 0, 0));
+  EXPECT_EQ(box.greater_corner, Vec3(1, 2, 5));
+}
+
+}  // namespace
+}  // namespace paratreet

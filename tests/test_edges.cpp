@@ -1,0 +1,258 @@
+// Negative-path and edge-condition tests: corrupted structures are
+// detected, degenerate inputs don't crash, and boundary geometries are
+// handled exactly.
+
+#include <gtest/gtest.h>
+
+#include "apps/gravity/gravity.hpp"
+#include "baselines/changa/changa.hpp"
+#include "core/forest.hpp"
+#include "tree/builder.hpp"
+#include "tree/validate.hpp"
+
+namespace paratreet {
+namespace {
+
+struct CountData {
+  int count{0};
+  CountData() = default;
+  CountData(const Particle*, int n) : count(n) {}
+  CountData& operator+=(const CountData& o) {
+    count += o.count;
+    return *this;
+  }
+};
+
+// --- validateTree negative paths ---------------------------------------------
+
+class CorruptibleTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const OrientedBox universe{Vec3(0), Vec3(1)};
+    ps_ = makeParticles(uniformCube(200, 3, universe));
+    assignKeys(ps_, universe);
+    BuildOptions opts;
+    opts.bucket_size = 8;
+    root_ = buildTree<CountData>(OctTreeType{}, arena_,
+                                 std::span<Particle>(ps_), universe, opts);
+    ASSERT_EQ(validateTree(root_), "");
+  }
+
+  Node<CountData>* firstInternal() {
+    Node<CountData>* n = root_;
+    while (n->leaf()) ADD_FAILURE() << "no internal node";
+    return n;
+  }
+
+  std::vector<Particle> ps_;
+  NodeArena<CountData> arena_;
+  Node<CountData>* root_{nullptr};
+};
+
+TEST_F(CorruptibleTree, DetectsNullRoot) {
+  EXPECT_EQ(validateTree<CountData>(nullptr), "null root");
+}
+
+TEST_F(CorruptibleTree, DetectsCountMismatch) {
+  root_->n_particles += 1;
+  EXPECT_NE(validateTree(root_), "");
+}
+
+TEST_F(CorruptibleTree, DetectsMissingChild) {
+  Node<CountData>* internal = firstInternal();
+  Node<CountData>* saved = internal->child(0);
+  internal->children[0].store(nullptr, std::memory_order_release);
+  EXPECT_NE(validateTree(root_), "");
+  internal->children[0].store(saved, std::memory_order_release);
+}
+
+TEST_F(CorruptibleTree, DetectsBadParentLink) {
+  Node<CountData>* internal = firstInternal();
+  Node<CountData>* child = internal->child(0);
+  Node<CountData>* old_parent = child->parent;
+  child->parent = child;
+  EXPECT_NE(validateTree(root_), "");
+  child->parent = old_parent;
+}
+
+TEST_F(CorruptibleTree, DetectsEscapedChildBox) {
+  Node<CountData>* internal = firstInternal();
+  Node<CountData>* child = internal->child(0);
+  const OrientedBox saved = child->box;
+  child->box.greater_corner += Vec3(10, 0, 0);
+  EXPECT_NE(validateTree(root_), "");
+  child->box = saved;
+  EXPECT_EQ(validateTree(root_), "");
+}
+
+int firstChildWithParticles(Node<CountData>* n) {
+  for (int c = 0; c < n->n_children; ++c) {
+    if (n->child(c) != nullptr && n->child(c)->n_particles > 0) return c;
+  }
+  return 0;
+}
+
+TEST_F(CorruptibleTree, DetectsParticleOutsideLeafBox) {
+  Node<CountData>* leaf = root_;
+  while (!leaf->leaf()) leaf = leaf->child(firstChildWithParticles(leaf));
+  ASSERT_GT(leaf->n_particles, 0);
+  const Vec3 saved = leaf->particles[0].position;
+  leaf->particles[0].position = Vec3(99, 99, 99);
+  EXPECT_NE(validateTree(root_), "");
+  leaf->particles[0].position = saved;
+}
+
+// --- degenerate forest inputs -------------------------------------------------
+
+TEST(ForestEdge, SingleParticle) {
+  rts::Runtime rt({2, 1});
+  Configuration conf;
+  conf.min_partitions = 4;
+  conf.min_subtrees = 2;
+  conf.bucket_size = 8;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  InitialConditions ic;
+  ic.positions = {{0.5, 0.5, 0.5}};
+  ic.masses = {2.0};
+  forest.load(makeParticles(ic));
+  forest.decompose();
+  forest.build();
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  const auto out = forest.collect();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].acceleration, Vec3{});  // alone in the universe
+}
+
+TEST(ForestEdge, TwoCoincidentParticles) {
+  rts::Runtime rt({1, 1});
+  Configuration conf;
+  conf.min_partitions = 2;
+  conf.min_subtrees = 2;
+  conf.bucket_size = 1;  // forces the depth-limit leaf path
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  InitialConditions ic;
+  ic.positions = {{0.25, 0.25, 0.25}, {0.25, 0.25, 0.25}};
+  ic.masses = {1.0, 1.0};
+  forest.load(makeParticles(ic));
+  forest.decompose();
+  forest.build();
+  EXPECT_EQ(forest.validate(), "");
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  for (const auto& p : forest.collect()) {
+    // Coincident pair: gravExact skips r=0, so zero force, no NaN.
+    EXPECT_TRUE(std::isfinite(p.acceleration.x));
+  }
+}
+
+TEST(ForestEdge, CollinearParticlesOnAxis) {
+  rts::Runtime rt({2, 1});
+  Configuration conf;
+  conf.min_partitions = 3;
+  conf.min_subtrees = 2;
+  conf.bucket_size = 4;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  InitialConditions ic;
+  for (int i = 0; i < 64; ++i) {
+    ic.positions.push_back({static_cast<double>(i), 0.0, 0.0});
+    ic.masses.push_back(1.0);
+  }
+  forest.load(makeParticles(ic));
+  forest.decompose();
+  forest.build();
+  EXPECT_EQ(forest.validate(), "");
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  const auto out = forest.collect();
+  // Middle particles feel near-zero net x force; ends feel inward pull.
+  EXPECT_GT(out[0].acceleration.x, 0.0);
+  EXPECT_LT(out[63].acceleration.x, 0.0);
+}
+
+TEST(ForestEdge, MorePiecesThanParticles) {
+  rts::Runtime rt({2, 2});
+  Configuration conf;
+  conf.min_partitions = 16;
+  conf.min_subtrees = 8;
+  conf.bucket_size = 4;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  forest.load(makeParticles(uniformCube(5, 7)));
+  forest.decompose();
+  forest.build();
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  EXPECT_EQ(forest.collect().size(), 5u);
+}
+
+TEST(ForestEdge, HugeCoordinates) {
+  rts::Runtime rt({1, 2});
+  Configuration conf;
+  conf.min_partitions = 4;
+  conf.min_subtrees = 2;
+  conf.bucket_size = 8;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  auto ic = uniformCube(200, 9, OrientedBox{Vec3(-1e12), Vec3(1e12)});
+  forest.load(makeParticles(ic));
+  forest.decompose();
+  forest.build();
+  EXPECT_EQ(forest.validate(), "");
+}
+
+TEST(ForestEdge, TinyCoordinateExtent) {
+  rts::Runtime rt({1, 1});
+  Configuration conf;
+  conf.min_partitions = 2;
+  conf.min_subtrees = 2;
+  conf.bucket_size = 8;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  auto ic = uniformCube(100, 11, OrientedBox{Vec3(1.0), Vec3(1.0 + 1e-9)});
+  forest.load(makeParticles(ic));
+  forest.decompose();
+  forest.build();
+  EXPECT_EQ(forest.validate(), "");
+  EXPECT_EQ(forest.collect().size(), 100u);
+}
+
+// --- mini-ChaNGa edges --------------------------------------------------------
+
+TEST(ChangaEdge, FetchDepthOneStillCorrect) {
+  rts::Runtime rt({3, 1});
+  baselines::ChangaConfig config;
+  config.n_pieces = 6;
+  config.bucket_size = 8;
+  config.fetch_depth = 1;  // maximal number of round trips
+  config.gravity.softening = 1e-3;
+  baselines::ChangaSolver solver(rt, config);
+  auto particles = makeParticles(uniformCube(300, 13));
+  auto reference = particles;
+  solver.load(std::move(particles));
+  solver.build();
+  solver.traverseGravity();
+  const auto out = solver.collect();
+  GravityParams params;
+  params.softening = 1e-3;
+  directForces(std::span<Particle>(reference), params);
+  double worst = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double mag = reference[i].acceleration.length();
+    if (mag < 1e-10) continue;
+    worst = std::max(worst,
+                     (out[i].acceleration - reference[i].acceleration).length() /
+                         mag);
+  }
+  EXPECT_LT(worst, 0.3);  // BH approximation error only, no protocol loss
+}
+
+TEST(ChangaEdge, SinglePieceDegeneratesToSerial) {
+  rts::Runtime rt({1, 1});
+  baselines::ChangaConfig config;
+  config.n_pieces = 1;
+  config.bucket_size = 8;
+  baselines::ChangaSolver solver(rt, config);
+  solver.load(makeParticles(uniformCube(200, 17)));
+  solver.build();
+  solver.traverseGravity();
+  EXPECT_EQ(solver.stats().boundary_nodes.load(), 0u);
+  EXPECT_EQ(solver.stats().requests.load(), 0u);
+  EXPECT_EQ(solver.collect().size(), 200u);
+}
+
+}  // namespace
+}  // namespace paratreet

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/cache.hpp"  // pathLess
+#include "util/key.hpp"
+#include "util/rng.hpp"
+
+namespace paratreet {
+namespace {
+
+TEST(Keys, SpreadGatherRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next() & 0x1fffff;
+    EXPECT_EQ(keys::gatherBits3(keys::spreadBits3(v)), v);
+  }
+}
+
+TEST(Keys, SpreadBitsSpacing) {
+  // Each input bit must land every third output position.
+  for (int bit = 0; bit < 21; ++bit) {
+    const std::uint64_t spread = keys::spreadBits3(1ull << bit);
+    EXPECT_EQ(spread, 1ull << (3 * bit));
+  }
+}
+
+TEST(Keys, ChildParentRoundTrip) {
+  const Key root = keys::kRoot;
+  for (int bits : {1, 3}) {
+    for (unsigned c = 0; c < (1u << bits); ++c) {
+      const Key child = keys::child(root, c, bits);
+      EXPECT_EQ(keys::parent(child, bits), root);
+      EXPECT_EQ(keys::childIndex(child, bits), c);
+      EXPECT_EQ(keys::level(child, bits), 1);
+    }
+  }
+}
+
+TEST(Keys, LevelOfDeepKeys) {
+  Key k = keys::kRoot;
+  for (int lvl = 0; lvl < 20; ++lvl) {
+    EXPECT_EQ(keys::level(k, 3), lvl);
+    k = keys::child(k, 5, 3);
+  }
+  Key b = keys::kRoot;
+  for (int lvl = 0; lvl < 60; ++lvl) {
+    EXPECT_EQ(keys::level(b, 1), lvl);
+    b = keys::child(b, 1, 1);
+  }
+}
+
+TEST(Keys, IsAncestorOf) {
+  const Key root = keys::kRoot;
+  const Key c2 = keys::child(root, 2, 3);
+  const Key c25 = keys::child(c2, 5, 3);
+  EXPECT_TRUE(keys::isAncestorOf(root, c25, 3));
+  EXPECT_TRUE(keys::isAncestorOf(c2, c25, 3));
+  EXPECT_TRUE(keys::isAncestorOf(c25, c25, 3));
+  EXPECT_FALSE(keys::isAncestorOf(c25, c2, 3));
+  EXPECT_FALSE(keys::isAncestorOf(keys::child(root, 3, 3), c25, 3));
+}
+
+TEST(Keys, MortonKeyCorners) {
+  const OrientedBox u{Vec3(0), Vec3(1)};
+  EXPECT_EQ(keys::mortonKey(Vec3(0, 0, 0), u), 0u);
+  // The greatest corner clamps into the last cell: all bits set.
+  const std::uint64_t max_key = keys::mortonKey(Vec3(1, 1, 1), u);
+  EXPECT_EQ(max_key, (1ull << keys::kMortonBits) - 1);
+}
+
+TEST(Keys, MortonKeyFirstSplitIsX) {
+  const OrientedBox u{Vec3(0), Vec3(1)};
+  // A point in the upper x half must set the top Morton bit.
+  const auto hi = keys::mortonKey(Vec3(0.9, 0.1, 0.1), u);
+  const auto lo = keys::mortonKey(Vec3(0.1, 0.9, 0.9), u);
+  EXPECT_TRUE(hi >> (keys::kMortonBits - 1) & 1u);
+  EXPECT_FALSE(lo >> (keys::kMortonBits - 1) & 1u);
+}
+
+TEST(Keys, MortonOrderingIsSpatiallyLocal) {
+  // Points in the same octant share their top 3 Morton bits.
+  const OrientedBox u{Vec3(0), Vec3(1)};
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{rng.uniform(0.0, 0.5), rng.uniform(0.5, 1.0),
+                 rng.uniform(0.0, 0.5)};
+    const auto key = keys::mortonKey(p, u);
+    EXPECT_EQ(key >> (keys::kMortonBits - 3), 0b010u);
+  }
+}
+
+TEST(Keys, OctKeyAtLevel) {
+  const OrientedBox u{Vec3(0), Vec3(1)};
+  const Vec3 p{0.9, 0.1, 0.9};  // octant x-high, y-low, z-high = 0b101
+  const auto morton = keys::mortonKey(p, u);
+  EXPECT_EQ(keys::octKeyAtLevel(morton, 0), keys::kRoot);
+  EXPECT_EQ(keys::octKeyAtLevel(morton, 1), keys::child(keys::kRoot, 0b101, 3));
+}
+
+TEST(Keys, BoxForOctKeyRoot) {
+  const OrientedBox u{Vec3(0), Vec3(2)};
+  EXPECT_EQ(keys::boxForOctKey(keys::kRoot, u), u);
+}
+
+TEST(Keys, BoxForOctKeyOctants) {
+  const OrientedBox u{Vec3(0), Vec3(2)};
+  // Octant 0b111 is the high corner in x, y and z.
+  const auto box = keys::boxForOctKey(keys::child(keys::kRoot, 7, 3), u);
+  EXPECT_EQ(box.lesser_corner, Vec3(1, 1, 1));
+  EXPECT_EQ(box.greater_corner, Vec3(2, 2, 2));
+  // Octant 0 is the low corner.
+  const auto box0 = keys::boxForOctKey(keys::child(keys::kRoot, 0, 3), u);
+  EXPECT_EQ(box0.lesser_corner, Vec3(0, 0, 0));
+  EXPECT_EQ(box0.greater_corner, Vec3(1, 1, 1));
+}
+
+TEST(Keys, BoxForOctKeyMatchesMortonKey) {
+  // Property: a particle's octree node box at any level contains it.
+  const OrientedBox u{Vec3(-1), Vec3(1)};
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const auto morton = keys::mortonKey(p, u);
+    for (int lvl = 0; lvl <= 6; ++lvl) {
+      const Key k = keys::octKeyAtLevel(morton, lvl);
+      const auto box = keys::boxForOctKey(k, u);
+      EXPECT_TRUE(box.contains(p))
+          << "level " << lvl << " point " << p.x << "," << p.y << "," << p.z;
+    }
+  }
+}
+
+TEST(Keys, PathLessAncestorFirst) {
+  const Key root = keys::kRoot;
+  const Key c0 = keys::child(root, 0, 3);
+  const Key c1 = keys::child(root, 1, 3);
+  const Key c00 = keys::child(c0, 0, 3);
+  const Key c07 = keys::child(c0, 7, 3);
+  EXPECT_TRUE(pathLess(root, c0, 3));
+  EXPECT_TRUE(pathLess(c0, c1, 3));
+  EXPECT_TRUE(pathLess(c00, c1, 3));
+  EXPECT_TRUE(pathLess(c07, c1, 3));
+  EXPECT_TRUE(pathLess(c0, c07, 3));
+  EXPECT_FALSE(pathLess(c1, c07, 3));
+}
+
+TEST(Keys, PathLessTotalOrderOnDisjointRegions) {
+  // Keys of sibling regions at mixed depths sort by space, not by value.
+  const Key a = keys::child(keys::kRoot, 0, 3);           // first octant
+  const Key b = keys::child(keys::child(keys::kRoot, 1, 3), 0, 3);
+  const Key c = keys::child(keys::kRoot, 2, 3);
+  EXPECT_TRUE(pathLess(a, b, 3));
+  EXPECT_TRUE(pathLess(b, c, 3));
+  EXPECT_TRUE(pathLess(a, c, 3));
+}
+
+}  // namespace
+}  // namespace paratreet

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/gravity/gravity.hpp"
+#include "core/forest.hpp"
+#include "core/load_balancer.hpp"
+#include "util/rng.hpp"
+
+namespace paratreet {
+namespace {
+
+TEST(GreedyLoadBalancer, BalancesSkewedLoads) {
+  GreedyLoadBalancer lb;
+  std::vector<double> loads = {8, 1, 1, 1, 1, 1, 1, 1, 1};  // total 16
+  const auto placement = lb.assign(loads, 2);
+  ASSERT_EQ(placement.size(), loads.size());
+  for (int p : placement) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 2);
+  }
+  // Greedy puts the 8 alone-ish: imbalance must be close to ideal (8/8).
+  EXPECT_LE(LoadBalancer::imbalance(loads, placement, 2), 1.01);
+}
+
+TEST(GreedyLoadBalancer, ListSchedulingBound) {
+  // Graham's bound: greedy max load <= ideal * (2 - 1/m).
+  Rng rng(5);
+  GreedyLoadBalancer lb;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> loads(40);
+    for (auto& l : loads) l = rng.uniform(0.1, 10.0);
+    for (int procs : {2, 3, 7}) {
+      const auto placement = lb.assign(loads, procs);
+      EXPECT_LE(LoadBalancer::imbalance(loads, placement, procs),
+                2.0 - 1.0 / procs + 1e-9);
+    }
+  }
+}
+
+TEST(SfcLoadBalancer, ChunksAreContiguous) {
+  SfcLoadBalancer lb;
+  Rng rng(7);
+  std::vector<double> loads(50);
+  for (auto& l : loads) l = rng.uniform(0.5, 2.0);
+  const auto placement = lb.assign(loads, 4);
+  // SFC chunks: placement is monotone non-decreasing along the curve.
+  for (std::size_t i = 1; i < placement.size(); ++i) {
+    EXPECT_LE(placement[i - 1], placement[i]);
+  }
+  EXPECT_EQ(placement.front(), 0);
+  EXPECT_EQ(placement.back(), 3);
+}
+
+TEST(SfcLoadBalancer, EqualLoadsGiveBlockPlacement) {
+  SfcLoadBalancer lb;
+  std::vector<double> loads(8, 1.0);
+  const auto placement = lb.assign(loads, 4);
+  EXPECT_EQ(placement, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(SfcLoadBalancer, HeavyChareGetsOwnChunk) {
+  SfcLoadBalancer lb;
+  std::vector<double> loads = {1, 1, 20, 1, 1};  // total 24, ideal 12 on 2
+  const auto placement = lb.assign(loads, 2);
+  // The heavy chare's midpoint (1+1+10=12) sits at the boundary; the
+  // imbalance must beat naive block placement (which would pair it with
+  // two others).
+  EXPECT_LE(LoadBalancer::imbalance(loads, placement, 2), 22.0 / 12.0);
+}
+
+TEST(SfcLoadBalancer, ZeroLoadsFallBackToBlocks) {
+  SfcLoadBalancer lb;
+  std::vector<double> loads(6, 0.0);
+  const auto placement = lb.assign(loads, 3);
+  EXPECT_EQ(placement, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(LoadBalancer, ImbalanceMetric) {
+  std::vector<double> loads = {3, 1};
+  EXPECT_DOUBLE_EQ(LoadBalancer::imbalance(loads, {0, 1}, 2), 1.5);
+  EXPECT_DOUBLE_EQ(LoadBalancer::imbalance(loads, {0, 0}, 2), 2.0);
+}
+
+Configuration lbConfig() {
+  Configuration conf;
+  conf.min_partitions = 12;
+  conf.min_subtrees = 4;
+  conf.bucket_size = 8;
+  return conf;
+}
+
+TEST(ForestRebalance, MeasuresLoadDuringTraversal) {
+  rts::Runtime rt({2, 2});
+  Forest<CentroidData, OctTreeType> forest(rt, lbConfig());
+  forest.load(makeParticles(clustered(1000, 9, 2, 0.01)));
+  forest.decompose();
+  forest.build();
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  const auto loads = forest.partitionLoads();
+  ASSERT_EQ(static_cast<int>(loads.size()), forest.numPartitions());
+  double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  EXPECT_GT(total, 0.0);
+  for (double l : loads) EXPECT_GE(l, 0.0);
+}
+
+TEST(ForestRebalance, ReducesMeasuredImbalanceOnSkewedData) {
+  rts::Runtime rt({4, 1});
+  Configuration conf = lbConfig();
+  conf.min_partitions = 16;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  // Heavily clustered: some partitions do far more interaction work.
+  forest.load(makeParticles(clustered(3000, 11, 2, 0.005)));
+  forest.decompose();
+  forest.build();
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  const double before = forest.measuredImbalance();
+  GreedyLoadBalancer lb;
+  const double predicted = forest.rebalance(lb);
+  EXPECT_LE(predicted, before + 1e-9);
+  // The new placement must be applied to the partitions.
+  const auto loads = forest.partitionLoads();
+  std::vector<int> placement;
+  for (int i = 0; i < forest.numPartitions(); ++i) {
+    placement.push_back(forest.partition(i).home_proc);
+  }
+  EXPECT_NEAR(LoadBalancer::imbalance(loads, placement, rt.numProcs()),
+              predicted, 1e-12);
+}
+
+TEST(ForestRebalance, PlacementSurvivesFlush) {
+  rts::Runtime rt({3, 1});
+  Forest<CentroidData, OctTreeType> forest(rt, lbConfig());
+  forest.load(makeParticles(uniformCube(800, 13)));
+  forest.decompose();
+  forest.build();
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  GreedyLoadBalancer lb;
+  forest.rebalance(lb);
+  std::vector<int> placement;
+  for (int i = 0; i < forest.numPartitions(); ++i) {
+    placement.push_back(forest.partition(i).home_proc);
+  }
+  forest.flush();
+  forest.build();
+  for (int i = 0; i < forest.numPartitions(); ++i) {
+    EXPECT_EQ(forest.partition(i).home_proc, placement[static_cast<std::size_t>(i)]);
+  }
+  // Results still correct after migration: traversal completes and every
+  // particle is present exactly once.
+  forest.traverse<GravityVisitor>(GravityVisitor{});
+  const auto out = forest.collect();
+  EXPECT_EQ(out.size(), 800u);
+}
+
+TEST(ForestRebalance, RebalancedTraversalGivesSameResults) {
+  rts::Runtime rt({3, 2});
+  Forest<CentroidData, OctTreeType> forest(rt, lbConfig());
+  forest.load(makeParticles(clustered(800, 15, 3, 0.02)));
+  forest.decompose();
+  forest.build();
+  GravityVisitor v;
+  v.params.softening = 1e-3;
+  forest.traverse<GravityVisitor>(v);
+  const auto before = forest.collect();
+  SfcLoadBalancer lb;
+  forest.rebalance(lb);
+  forest.flush();
+  forest.build();
+  forest.traverse<GravityVisitor>(v);
+  const auto after = forest.collect();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_LT((before[i].acceleration - after[i].acceleration).length(),
+              1e-9 * (before[i].acceleration.length() + 1e-12));
+  }
+}
+
+}  // namespace
+}  // namespace paratreet

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "rts/profiler.hpp"
+#include "rts/reduction.hpp"
+#include "rts/runtime.hpp"
+#include "util/timer.hpp"
+
+namespace paratreet::rts {
+namespace {
+
+TEST(Runtime, RunsEnqueuedTasks) {
+  Runtime rt({2, 2});
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    rt.enqueue(i % 2, [&counter] { counter.fetch_add(1); });
+  }
+  rt.drain();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Runtime, TasksRunOnTheirProc) {
+  Runtime rt({3, 2});
+  std::atomic<int> wrong{0};
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 20; ++i) {
+      rt.enqueue(p, [p, &wrong] {
+        if (Runtime::currentProc() != p) wrong.fetch_add(1);
+        if (Runtime::currentWorker() < 0 || Runtime::currentWorker() >= 2) {
+          wrong.fetch_add(1);
+        }
+      });
+    }
+  }
+  rt.drain();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(Runtime, CurrentProcOffWorkerIsMinusOne) {
+  EXPECT_EQ(Runtime::currentProc(), -1);
+  EXPECT_EQ(Runtime::currentWorker(), -1);
+}
+
+TEST(Runtime, TasksCanSpawnTasks) {
+  Runtime rt({2, 1});
+  std::atomic<int> counter{0};
+  // A chain of 50 tasks bouncing between procs.
+  std::function<void(int)> bounce = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth < 49) {
+      rt.enqueue(depth % 2, [&bounce, depth] { bounce(depth + 1); });
+    }
+  };
+  rt.enqueue(0, [&bounce] { bounce(0); });
+  rt.drain();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(Runtime, DrainWaitsForNestedSpawns) {
+  Runtime rt({1, 2});
+  std::atomic<int> counter{0};
+  rt.enqueue(0, [&] {
+    for (int i = 0; i < 10; ++i) {
+      rt.enqueue(0, [&] {
+        for (int j = 0; j < 10; ++j) {
+          rt.enqueue(0, [&] { counter.fetch_add(1); });
+        }
+      });
+    }
+  });
+  rt.drain();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(Runtime, DrainIsReusable) {
+  Runtime rt({2, 1});
+  std::atomic<int> c{0};
+  rt.enqueue(0, [&] { c.fetch_add(1); });
+  rt.drain();
+  EXPECT_EQ(c.load(), 1);
+  rt.enqueue(1, [&] { c.fetch_add(1); });
+  rt.drain();
+  EXPECT_EQ(c.load(), 2);
+}
+
+TEST(Runtime, SendCountsMessagesAndBytes) {
+  Runtime rt({2, 1});
+  rt.send(0, 1, 128, [] {});
+  rt.send(1, 0, 64, [] {});
+  rt.drain();
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.bytes, 192u);
+  rt.resetStats();
+  EXPECT_EQ(rt.stats().messages, 0u);
+}
+
+TEST(Runtime, SendDeliversToDestination) {
+  Runtime rt({3, 1});
+  std::atomic<int> delivered_on{-1};
+  rt.send(0, 2, 10, [&] { delivered_on = Runtime::currentProc(); });
+  rt.drain();
+  EXPECT_EQ(delivered_on.load(), 2);
+}
+
+TEST(Runtime, CommModelDelaysDelivery) {
+  Runtime::Config config;
+  config.n_procs = 2;
+  config.workers_per_proc = 1;
+  config.comm.latency_us = 20000;  // 20 ms
+  Runtime rt(config);
+  paratreet::WallTimer timer;
+  std::atomic<double> arrival{0.0};
+  rt.send(0, 1, 1, [&] { arrival = timer.seconds(); });
+  rt.drain();
+  EXPECT_GE(arrival.load(), 0.015);
+}
+
+TEST(Runtime, CommModelSkipsLocalSends) {
+  Runtime::Config config;
+  config.n_procs = 2;
+  config.workers_per_proc = 1;
+  config.comm.latency_us = 50000;
+  Runtime rt(config);
+  paratreet::WallTimer timer;
+  std::atomic<double> arrival{99.0};
+  rt.send(1, 1, 1, [&] { arrival = timer.seconds(); });
+  rt.drain();
+  EXPECT_LT(arrival.load(), 0.04);
+}
+
+TEST(Runtime, BandwidthTermScalesWithBytes) {
+  CommModel model{100.0, 0.5};
+  EXPECT_DOUBLE_EQ(model.costUs(0), 100.0);
+  EXPECT_DOUBLE_EQ(model.costUs(1000), 600.0);
+  EXPECT_TRUE(model.enabled());
+  EXPECT_FALSE(CommModel{}.enabled());
+}
+
+TEST(Runtime, Broadcast) {
+  Runtime rt({4, 1});
+  std::mutex m;
+  std::set<int> seen;
+  rt.broadcast([&](int proc) {
+    std::lock_guard lock(m);
+    seen.insert(proc);
+  });
+  rt.drain();
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Runtime, ManyProcsManyWorkersStress) {
+  Runtime rt({4, 3});
+  std::atomic<std::uint64_t> sum{0};
+  for (int i = 0; i < 2000; ++i) {
+    rt.enqueue(i % 4, [&sum, i] { sum.fetch_add(static_cast<std::uint64_t>(i)); });
+  }
+  rt.drain();
+  EXPECT_EQ(sum.load(), 2000ull * 1999 / 2);
+}
+
+TEST(Reduction, CombinesAllContributions) {
+  Runtime rt({2, 2});
+  Reduction<int, std::plus<int>> red(10, 0);
+  for (int i = 0; i < 10; ++i) {
+    rt.enqueue(i % 2, [&red, i] { red.contribute(i + 1); });
+  }
+  EXPECT_EQ(red.wait(), 55);
+  rt.drain();
+}
+
+TEST(Reduction, ResetAllowsReuse) {
+  Reduction<int, std::plus<int>> red(2, 0);
+  red.contribute(3);
+  red.contribute(4);
+  EXPECT_EQ(red.wait(), 7);
+  red.reset(100);
+  red.contribute(1);
+  red.contribute(1);
+  EXPECT_EQ(red.wait(), 102);
+}
+
+TEST(Reduction, MaxOperator) {
+  auto max_op = [](double a, double b) { return a > b ? a : b; };
+  Reduction<double, decltype(max_op)> red(3, -1e300, max_op);
+  red.contribute(1.5);
+  red.contribute(9.0);
+  red.contribute(-2.0);
+  EXPECT_DOUBLE_EQ(red.wait(), 9.0);
+}
+
+TEST(Latch, CountsDown) {
+  Runtime rt({2, 1});
+  Latch latch(5);
+  for (int i = 0; i < 5; ++i) {
+    rt.enqueue(i % 2, [&latch] { latch.countDown(); });
+  }
+  latch.wait();  // must not hang
+  rt.drain();
+  SUCCEED();
+}
+
+TEST(Latch, ExtraCountDownsAreIgnored) {
+  Latch latch(1);
+  latch.countDown();
+  latch.countDown();
+  latch.wait();
+  SUCCEED();
+}
+
+TEST(Profiler, AccumulatesPerActivity) {
+  ActivityProfiler prof;
+  prof.record(Activity::kLocalTraversal, 0.5);
+  prof.record(Activity::kLocalTraversal, 0.25);
+  prof.record(Activity::kCacheRequest, 0.125);
+  EXPECT_NEAR(prof.seconds(Activity::kLocalTraversal), 0.75, 1e-6);
+  EXPECT_NEAR(prof.seconds(Activity::kCacheRequest), 0.125, 1e-6);
+  EXPECT_EQ(prof.count(Activity::kLocalTraversal), 2u);
+  EXPECT_NEAR(prof.totalSeconds(), 0.875, 1e-6);
+  prof.reset();
+  EXPECT_DOUBLE_EQ(prof.totalSeconds(), 0.0);
+}
+
+TEST(Profiler, ScopeRecordsElapsed) {
+  ActivityProfiler prof;
+  {
+    ActivityScope scope(&prof, Activity::kTreeBuild);
+    paratreet::WallTimer t;
+    while (t.seconds() < 0.01) {
+    }
+  }
+  EXPECT_GE(prof.seconds(Activity::kTreeBuild), 0.009);
+  EXPECT_EQ(prof.count(Activity::kTreeBuild), 1u);
+}
+
+TEST(Profiler, NullProfilerScopeIsNoop) {
+  ActivityScope scope(nullptr, Activity::kOther);
+  SUCCEED();
+}
+
+TEST(Profiler, TimelineBinsActivity) {
+  ActivityProfiler prof;
+  prof.enableTimeline(0.02);
+  {
+    ActivityScope scope(&prof, Activity::kLocalTraversal);
+    paratreet::WallTimer t;
+    while (t.seconds() < 0.005) {
+    }
+  }
+  // Wait past the first bin, then record a different activity.
+  paratreet::WallTimer wait;
+  while (wait.seconds() < 0.025) {
+  }
+  {
+    ActivityScope scope(&prof, Activity::kCacheInsertion);
+    paratreet::WallTimer t;
+    while (t.seconds() < 0.005) {
+    }
+  }
+  EXPECT_TRUE(prof.timelineEnabled());
+  EXPECT_GT(prof.timelineSeconds(0, Activity::kLocalTraversal), 0.004);
+  EXPECT_DOUBLE_EQ(prof.timelineSeconds(0, Activity::kCacheInsertion), 0.0);
+  const std::size_t last = prof.timelineLastBin();
+  EXPECT_GE(last, 1u);
+  EXPECT_GT(prof.timelineSeconds(last, Activity::kCacheInsertion), 0.004);
+  prof.reset();
+  EXPECT_DOUBLE_EQ(prof.timelineSeconds(0, Activity::kLocalTraversal), 0.0);
+}
+
+TEST(Profiler, TimelineClampsToLastBin) {
+  ActivityProfiler prof;
+  prof.enableTimeline(1e-9);  // absurdly fine bins: everything clamps
+  {
+    paratreet::WallTimer warm;
+    while (warm.seconds() < 0.001) {
+    }
+  }
+  {
+    ActivityScope scope(&prof, Activity::kOther);
+    paratreet::WallTimer t;
+    while (t.seconds() < 0.001) {
+    }
+  }
+  EXPECT_EQ(prof.timelineLastBin(), ActivityProfiler::kMaxBins - 1);
+}
+
+TEST(Profiler, ActivityNamesAligned) {
+  EXPECT_EQ(kActivityNames[static_cast<std::size_t>(Activity::kTreeBuild)],
+            "tree build");
+  EXPECT_EQ(kActivityNames.size(), kNumActivities);
+}
+
+TEST(Runtime, ConcurrentSendsFromWorkers) {
+  Runtime rt({3, 2});
+  std::atomic<int> received{0};
+  rt.broadcast([&](int proc) {
+    for (int i = 0; i < 50; ++i) {
+      rt.send(proc, (proc + 1) % 3, 8, [&received] { received.fetch_add(1); });
+    }
+  });
+  rt.drain();
+  EXPECT_EQ(received.load(), 150);
+  EXPECT_EQ(rt.stats().messages, 150u);
+}
+
+}  // namespace
+}  // namespace paratreet::rts

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "apps/gravity/centroid_data.hpp"
+#include "tree/builder.hpp"
+#include "tree/validate.hpp"
+#include "util/distributions.hpp"
+
+namespace paratreet {
+namespace {
+
+/// Minimal Data used for structural tests.
+struct MassData {
+  double mass{0};
+  int count{0};
+  MassData() = default;
+  MassData(const Particle* p, int n) {
+    for (int i = 0; i < n; ++i) mass += p[i].mass;
+    count = n;
+  }
+  MassData& operator+=(const MassData& o) {
+    mass += o.mass;
+    count += o.count;
+    return *this;
+  }
+};
+
+std::vector<Particle> makeTestParticles(std::size_t n, std::uint64_t seed,
+                                        const OrientedBox& universe) {
+  auto ic = uniformCube(n, seed, universe);
+  std::vector<Particle> ps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ps[i].position = ic.positions[i];
+    ps[i].mass = ic.masses[i];
+    ps[i].order = static_cast<std::int32_t>(i);
+  }
+  assignKeys(ps, universe);
+  return ps;
+}
+
+enum class TT { kOct, kKd, kLongest };
+
+class TreeBuildTest : public ::testing::TestWithParam<std::tuple<TT, int, int>> {
+ protected:
+  template <typename TreeT>
+  void runStructural(const TreeT& tree_type, int bucket, int n) {
+    const OrientedBox universe{Vec3(0), Vec3(1)};
+    auto ps = makeTestParticles(static_cast<std::size_t>(n), 17, universe);
+    NodeArena<MassData> arena;
+    BuildOptions opts;
+    opts.bucket_size = bucket;
+    Node<MassData>* root =
+        buildTree<MassData>(tree_type, arena, std::span<Particle>(ps), universe, opts);
+    ASSERT_NE(root, nullptr);
+    EXPECT_EQ(validateTree(root), "");
+    EXPECT_EQ(root->n_particles, n);
+    EXPECT_NEAR(root->data.mass, n > 0 ? 1.0 : 0.0, 1e-9);
+    EXPECT_EQ(root->data.count, n);
+    // Every leaf respects the bucket bound.
+    forEachLeaf(root, [&](Node<MassData>* leaf) {
+      EXPECT_LE(leaf->n_particles, bucket);
+    });
+    // Leaves partition the particle set.
+    int total = 0;
+    forEachLeaf(root, [&](Node<MassData>* leaf) { total += leaf->n_particles; });
+    EXPECT_EQ(total, n);
+  }
+
+  void run() {
+    const auto [tt, bucket, n] = GetParam();
+    switch (tt) {
+      case TT::kOct: runStructural(OctTreeType{}, bucket, n); break;
+      case TT::kKd: runStructural(KdTreeType{}, bucket, n); break;
+      case TT::kLongest: runStructural(LongestDimTreeType{}, bucket, n); break;
+    }
+  }
+};
+
+TEST_P(TreeBuildTest, StructuralInvariants) { run(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTreeTypes, TreeBuildTest,
+    ::testing::Combine(::testing::Values(TT::kOct, TT::kKd, TT::kLongest),
+                       ::testing::Values(1, 4, 12, 64),
+                       ::testing::Values(0, 1, 100, 1500)),
+    [](const auto& info) {
+      const TT tt = std::get<0>(info.param);
+      const char* name = tt == TT::kOct ? "Oct" : tt == TT::kKd ? "Kd" : "Longest";
+      return std::string(name) + "_b" + std::to_string(std::get<1>(info.param)) +
+             "_n" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(TreeBuild, KdTreeIsBalanced) {
+  const OrientedBox universe{Vec3(0), Vec3(1)};
+  auto ps = makeTestParticles(1024, 3, universe);
+  NodeArena<MassData> arena;
+  BuildOptions opts;
+  opts.bucket_size = 1;
+  Node<MassData>* root = buildTree<MassData>(KdTreeType{}, arena,
+                                             std::span<Particle>(ps), universe, opts);
+  // 1024 particles, bucket 1: a balanced binary tree has depth exactly 10.
+  int max_depth = 0, min_leaf_depth = 1000;
+  forEachLeaf(root, [&](Node<MassData>* leaf) {
+    max_depth = std::max(max_depth, static_cast<int>(leaf->depth));
+    min_leaf_depth = std::min(min_leaf_depth, static_cast<int>(leaf->depth));
+  });
+  EXPECT_EQ(max_depth, 10);
+  EXPECT_EQ(min_leaf_depth, 10);
+}
+
+TEST(TreeBuild, OctreeImbalancedOnClusteredInput) {
+  // A clustered distribution produces a deeper octree than a k-d tree.
+  const OrientedBox universe{Vec3(-1), Vec3(1)};
+  auto ic = clustered(2000, 5, 4, 0.001);
+  std::vector<Particle> ps(ic.size());
+  for (std::size_t i = 0; i < ic.size(); ++i) {
+    ps[i].position = ic.positions[i];
+    ps[i].mass = ic.masses[i];
+    ps[i].order = static_cast<std::int32_t>(i);
+  }
+  OrientedBox u;
+  for (const auto& p : ps) u.grow(p.position);
+  assignKeys(ps, u);
+
+  auto max_leaf_depth = [&](auto tree_type) {
+    auto copy = ps;
+    NodeArena<MassData> arena;
+    BuildOptions opts;
+    opts.bucket_size = 8;
+    Node<MassData>* root = buildTree<MassData>(tree_type, arena,
+                                               std::span<Particle>(copy), u, opts);
+    int depth = 0;
+    forEachLeaf(root, [&](Node<MassData>* leaf) {
+      depth = std::max(depth, static_cast<int>(leaf->depth));
+    });
+    return depth;
+  };
+  // Octree leaf depth is driven by clustering; kd depth by count only.
+  EXPECT_GT(max_leaf_depth(OctTreeType{}), max_leaf_depth(KdTreeType{}));
+}
+
+TEST(TreeBuild, LongestDimSplitsThinDiskInPlane) {
+  // For a flat disk the first several longest-dimension splits must never
+  // split z, while the octree always does.
+  const OrientedBox universe{Vec3(-4, -4, -0.01), Vec3(4, 4, 0.01)};
+  auto ps = makeTestParticles(2048, 7, universe);
+  NodeArena<MassData> arena;
+  BuildOptions opts;
+  opts.bucket_size = 32;
+  Node<MassData>* root = buildTree<MassData>(LongestDimTreeType{}, arena,
+                                             std::span<Particle>(ps), universe, opts);
+  // Walk the top 4 levels: every internal split keeps the z extent.
+  std::function<void(Node<MassData>*, int)> walk = [&](Node<MassData>* n, int d) {
+    if (d >= 4 || n->leaf()) return;
+    for (int c = 0; c < n->n_children; ++c) {
+      Node<MassData>* child = n->child(c);
+      EXPECT_NEAR(child->box.size().z, n->box.size().z, 1e-12);
+      walk(child, d + 1);
+    }
+  };
+  walk(root, 0);
+}
+
+TEST(TreeBuild, DuplicatePositionsHitDepthLimit) {
+  // All particles at one point: the octree cannot separate them and must
+  // force a leaf at max depth instead of recursing forever.
+  const OrientedBox universe{Vec3(0), Vec3(1)};
+  std::vector<Particle> ps(50);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps[i].position = Vec3(0.3, 0.3, 0.3);
+    ps[i].mass = 1.0;
+    ps[i].order = static_cast<std::int32_t>(i);
+  }
+  assignKeys(ps, universe);
+  NodeArena<MassData> arena;
+  BuildOptions opts;
+  opts.bucket_size = 4;
+  Node<MassData>* root = buildTree<MassData>(OctTreeType{}, arena,
+                                             std::span<Particle>(ps), universe, opts);
+  EXPECT_EQ(validateTree(root), "");
+  EXPECT_EQ(root->n_particles, 50);
+  int leaf_count = 0;
+  forEachLeaf(root, [&](Node<MassData>* leaf) {
+    if (leaf->type == NodeType::kLeaf) ++leaf_count;
+  });
+  EXPECT_EQ(leaf_count, 1);  // one over-full leaf at the depth limit
+}
+
+TEST(TreeBuild, CentroidDataAccumulation) {
+  const OrientedBox universe{Vec3(0), Vec3(1)};
+  auto ps = makeTestParticles(700, 21, universe);
+  // Give particles varied masses.
+  for (auto& p : ps) p.mass = 0.5 + 1.5 * (static_cast<double>(p.order % 7) / 7.0);
+  NodeArena<CentroidData> arena;
+  Node<CentroidData>* root = buildTree<CentroidData>(
+      OctTreeType{}, arena, std::span<Particle>(ps), universe, {});
+  // Root data equals the direct fold over all particles.
+  CentroidData direct(ps.data(), static_cast<int>(ps.size()));
+  EXPECT_NEAR(root->data.sum_mass, direct.sum_mass, 1e-9);
+  EXPECT_NEAR(root->data.centroid().x, direct.centroid().x, 1e-9);
+  EXPECT_NEAR(root->data.centroid().y, direct.centroid().y, 1e-9);
+  EXPECT_NEAR(root->data.centroid().z, direct.centroid().z, 1e-9);
+  const auto qa = root->data.quadrupole();
+  const auto qb = direct.quadrupole();
+  EXPECT_NEAR(qa.xx, qb.xx, 1e-7);
+  EXPECT_NEAR(qa.xy, qb.xy, 1e-7);
+  EXPECT_NEAR(qa.zz, qb.zz, 1e-7);
+  // Traceless by construction.
+  EXPECT_NEAR(qa.trace(), 0.0, 1e-9);
+}
+
+TEST(TreeBuild, NodeCountsReasonable) {
+  const OrientedBox universe{Vec3(0), Vec3(1)};
+  auto ps = makeTestParticles(1000, 2, universe);
+  NodeArena<MassData> arena;
+  BuildOptions opts;
+  opts.bucket_size = 10;
+  Node<MassData>* root = buildTree<MassData>(OctTreeType{}, arena,
+                                             std::span<Particle>(ps), universe, opts);
+  const std::size_t nodes = countNodes(root);
+  EXPECT_EQ(nodes, arena.size());
+  EXPECT_GT(nodes, 100u);   // at least n/bucket leaves
+  EXPECT_LT(nodes, 4000u);  // not absurdly many
+}
+
+TEST(SpatialNode, ReadOnlySourceSemantics) {
+  Particle p;
+  p.position = Vec3(1, 2, 3);
+  MassData data(&p, 1);
+  OrientedBox box{Vec3(0), Vec3(4)};
+  SpatialNode<MassData> node(data, box, keys::kRoot, 1, &p);
+  const SpatialNode<MassData>& source = node;
+  // Const view exposes read access only.
+  EXPECT_EQ(source.particle(0).position, Vec3(1, 2, 3));
+  // Mutable view can deposit results.
+  node.applyAcceleration(0, Vec3(1, 0, 0));
+  node.applyPotential(0, -2.0);
+  EXPECT_EQ(p.acceleration, Vec3(1, 0, 0));
+  EXPECT_DOUBLE_EQ(p.potential, -2.0);
+}
+
+}  // namespace
+}  // namespace paratreet
