@@ -10,12 +10,52 @@
 // reproduction targets recorded in EXPERIMENTS.md.
 
 #include <cstdio>
+#include <exception>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "observability/instrumentation.hpp"
+#include "observability/report.hpp"
 #include "rts/runtime.hpp"
 
 namespace paratreet::bench {
+
+/// Strip a `--metrics-out=<path>` flag from argv — wherever it appears, so
+/// the benches' positional-argument indices are unaffected — and return the
+/// path ("-" means stdout; empty when the flag is absent). Every bench
+/// shares this one flag as its way to opt into the observability layer.
+inline std::string stripMetricsOutArg(int& argc, char** argv) {
+  constexpr std::string_view kFlag = "--metrics-out=";
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      path = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return path;
+}
+
+/// End-of-run half of the --metrics-out story: no-op when `path` is empty,
+/// otherwise serialize the run's instrumentation as one JSON report.
+inline void writeMetricsReport(const Instrumentation& instr,
+                               const std::string& path) {
+  if (path.empty()) return;
+  try {
+    obs::Reporter(instr).writeJson(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+    return;
+  }
+  if (path != "-") {
+    std::printf("\nmetrics report written to %s\n", path.c_str());
+  }
+}
 
 /// The modeled interconnect used whenever a bench wants communication
 /// volume visible in wall-clock time: 20 us latency + 1 GB/s.

@@ -17,6 +17,7 @@
 #include "apps/gravity/gravity.hpp"
 #include "baselines/changa/changa.hpp"
 #include "bench_util.hpp"
+#include "core/dispatch.hpp"
 #include "core/forest.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -39,42 +40,49 @@ struct Result {
   double imbalance = 1.0;  ///< max/mean particles per partition
 };
 
-template <typename TreeT>
-Result runParaTreeT(const InitialConditions& ic, TreeType tree,
-                    DecompType decomp, int procs, int workers,
-                    int iterations) {
-  rts::Runtime::Config rc{procs, workers, bench::defaultInterconnect()};
-  rts::Runtime rt(rc);
-  Configuration conf;
-  conf.tree_type = tree;
-  conf.decomp_type = decomp;
-  conf.min_partitions = 4 * procs * workers;
-  conf.min_subtrees = 2 * procs;
-  conf.bucket_size = 16;
-  Forest<CentroidData, TreeT> forest(rt, conf);
-  forest.load(makeParticles(ic));
-  forest.decompose();
-  Result r;
-  RunningStats time;
-  for (int it = 0; it < iterations; ++it) {
-    WallTimer timer;
-    forest.build();
-    forest.template traverse<GravityVisitor>(GravityVisitor{diskGravity()});
-    forest.template traverse<CollisionVisitor>(CollisionVisitor{kDt});
-    time.add(timer.seconds());
-    // Load imbalance across partitions.
-    std::size_t max_load = 0, total = 0;
-    for (int p = 0; p < forest.numPartitions(); ++p) {
-      const std::size_t load = forest.partition(p).particleCount();
-      max_load = std::max(max_load, load);
-      total += load;
+/// One measured series: the runtime `tree` value selects the statically
+/// typed Forest via the shared dispatchTreeType() utility, with the
+/// tree-consistent decomposition — no per-tree-type template duplication.
+Result runParaTreeT(const InitialConditions& ic, TreeType tree, int procs,
+                    int workers, int iterations,
+                    Instrumentation instr = {}) {
+  return dispatchTreeType(tree, [&](auto policy) {
+    using TreeT = decltype(policy);
+    rts::Runtime::Config rc{procs, workers, bench::defaultInterconnect()};
+    rts::Runtime rt(rc);
+    if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
+    Configuration conf;
+    conf.tree_type = tree;
+    conf.decomp_type = treeConsistentDecomp(tree);
+    conf.min_partitions = 4 * procs * workers;
+    conf.min_subtrees = 2 * procs;
+    conf.bucket_size = 16;
+    Forest<CentroidData, TreeT> forest(rt, conf, instr);
+    forest.load(makeParticles(ic));
+    forest.decompose();
+    Result r;
+    RunningStats time;
+    for (int it = 0; it < iterations; ++it) {
+      WallTimer timer;
+      forest.build();
+      forest.template traverse<GravityVisitor>(GravityVisitor{diskGravity()});
+      forest.template traverse<CollisionVisitor>(CollisionVisitor{kDt});
+      time.add(timer.seconds());
+      // Load imbalance across partitions.
+      std::size_t max_load = 0, total = 0;
+      for (int p = 0; p < forest.numPartitions(); ++p) {
+        const std::size_t load = forest.partition(p).particleCount();
+        max_load = std::max(max_load, load);
+        total += load;
+      }
+      r.imbalance = static_cast<double>(max_load) * forest.numPartitions() /
+                    std::max<std::size_t>(total, 1);
+      forest.flush();
     }
-    r.imbalance = static_cast<double>(max_load) * forest.numPartitions() /
-                  std::max<std::size_t>(total, 1);
-    forest.flush();
-  }
-  r.avg_iter = time.mean();
-  return r;
+    if (instr.metrics != nullptr) rt.attachMetrics(nullptr);
+    r.avg_iter = time.mean();
+    return r;
+  });
 }
 
 Result runChanga(const InitialConditions& ic, int procs, int workers,
@@ -103,8 +111,14 @@ Result runChanga(const InitialConditions& ic, int procs, int workers,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::stripMetricsOutArg(argc, argv);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
   const int iterations = argc > 2 ? std::atoi(argv[2]) : 2;
+  // With --metrics-out, every ParaTreeT series accumulates into one
+  // registry (counters are process-global sums across the whole sweep).
+  Observability ob;
+  const Instrumentation instr =
+      metrics_out.empty() ? Instrumentation{} : ob.handle();
 
   bench::printHeader("Fig 13",
                      "disk iteration time: longest-dimension tree vs octrees");
@@ -119,12 +133,10 @@ int main(int argc, char** argv) {
               "imbalance");
   const std::vector<std::pair<int, int>> grid = {{1, 2}, {2, 2}, {2, 4}, {4, 4}};
   for (const auto& [procs, workers] : grid) {
-    const auto longest = runParaTreeT<LongestDimTreeType>(
-        ic, TreeType::eLongest, DecompType::eLongest, procs, workers,
-        iterations);
-    const auto oct = runParaTreeT<OctTreeType>(ic, TreeType::eOct,
-                                               DecompType::eOct, procs,
-                                               workers, iterations);
+    const auto longest = runParaTreeT(ic, TreeType::eLongest, procs, workers,
+                                      iterations, instr);
+    const auto oct =
+        runParaTreeT(ic, TreeType::eOct, procs, workers, iterations, instr);
     const auto changa = runChanga(ic, procs, workers, iterations);
     std::printf("%-26s %4dx%-5d %14.4f %12.2f\n", "ParaTreeT longest-dim",
                 procs, workers, longest.avg_iter, longest.imbalance);
@@ -141,5 +153,6 @@ int main(int argc, char** argv) {
               "imbalanced on the thin disk and cancels scaling\nbenefits at "
               "unfortunate configurations; the longest-dimension tree "
               "balances and wins, especially at scale.\n");
+  bench::writeMetricsReport(instr, metrics_out);
   return 0;
 }

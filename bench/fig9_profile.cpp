@@ -19,6 +19,7 @@
 using namespace paratreet;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::stripMetricsOutArg(argc, argv);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40000;
   const int procs = argc > 2 ? std::atoi(argv[2]) : 4;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
@@ -33,7 +34,9 @@ int main(int argc, char** argv) {
   rc.workers_per_proc = workers;
   rc.comm = bench::defaultInterconnect();
   rts::Runtime rt(rc);
-  rts::ActivityProfiler profiler;
+  Observability ob;
+  rts::ActivityProfiler& profiler = ob.profiler;
+  rt.attachMetrics(&ob.metrics);
 
   Configuration conf;
   conf.tree_type = TreeType::eOct;
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
   conf.min_subtrees = 2 * procs;
   conf.bucket_size = 16;
 
-  Forest<CentroidData, OctTreeType> forest(rt, conf, &profiler);
+  Forest<CentroidData, OctTreeType> forest(rt, conf, ob.handle());
   forest.load(makeParticles(uniformCube(n, 2022)));
   forest.decompose();
   profiler.enableTimeline(0.02);
@@ -105,5 +108,8 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape (paper): local traversal dominates; cache "
               "requests/insertions/resumptions are thin slices appearing "
               "towards the end of the iteration.\n");
+
+  rt.attachMetrics(nullptr);
+  bench::writeMetricsReport(ob.handle(), metrics_out);
   return 0;
 }

@@ -7,11 +7,20 @@
 // are the library's business.
 //
 // Usage: quickstart [n_particles] [n_procs] [workers_per_proc]
+//                    [--metrics-out=<file>]
+//
+// --metrics-out enables the observability layer (metrics registry, trace
+// buffer, activity profiler) and writes its JSON report to <file>
+// ("-" = stdout); see README "Observability" for the schema.
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <string>
+#include <string_view>
 
 #include "core/driver.hpp"
+#include "observability/report.hpp"
 
 using namespace paratreet;
 
@@ -79,6 +88,23 @@ struct MassInBallVisitor {
 };
 
 int main(int argc, char** argv) {
+  // Strip the optional --metrics-out=<file> flag before positional args.
+  std::string metrics_out;
+  bool metrics_enabled = false;
+  {
+    constexpr std::string_view kFlag = "--metrics-out=";
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.substr(0, kFlag.size()) == kFlag) {
+        metrics_out = std::string(arg.substr(kFlag.size()));
+        metrics_enabled = true;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
   const int procs = argc > 2 ? std::atoi(argv[2]) : 2;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
@@ -92,7 +118,15 @@ int main(int argc, char** argv) {
   conf.min_subtrees = 2 * procs;
   conf.bucket_size = 12;
 
-  Forest<MassData, OctTreeType> forest(rt, conf);
+  // One Observability bundle owns the profiler + metrics + trace buffer;
+  // the library takes a non-owning Instrumentation handle (all-null when
+  // metrics are off, which makes every probe a no-op).
+  Observability ob;
+  const Instrumentation instr = metrics_enabled ? ob.handle()
+                                                : Instrumentation{};
+  if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
+
+  Forest<MassData, OctTreeType> forest(rt, conf, instr);
   forest.load(makeParticles(uniformCube(n, /*seed=*/2024)));
   forest.decompose();
   forest.build();
@@ -114,5 +148,18 @@ int main(int argc, char** argv) {
   std::printf("cache fetches:      %llu (%llu bytes)\n",
               static_cast<unsigned long long>(stats.requests_sent),
               static_cast<unsigned long long>(stats.bytes_received));
+
+  if (metrics_enabled) {
+    rt.attachMetrics(nullptr);  // quiesce before the registry goes away
+    try {
+      obs::Reporter(ob.handle()).writeJson(metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+      return 1;
+    }
+    if (metrics_out != "-" && !metrics_out.empty()) {
+      std::printf("metrics report:     %s\n", metrics_out.c_str());
+    }
+  }
   return 0;
 }

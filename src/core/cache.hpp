@@ -14,6 +14,7 @@
 
 #include "core/config.hpp"
 #include "core/serialization.hpp"
+#include "observability/instrumentation.hpp"
 #include "rts/profiler.hpp"
 #include "rts/runtime.hpp"
 #include "tree/arena.hpp"
@@ -65,7 +66,8 @@ class CacheManager {
     CacheModel model = CacheModel::kWaitFree;
     int fetch_depth = 3;
     int bits_per_level = 3;
-    rts::ActivityProfiler* profiler = nullptr;
+    /// Sinks for activity profiling, metrics, and tracing (all optional).
+    Instrumentation instr{};
   };
 
   /// Statistics for one iteration of traversal, per process. Counters are
@@ -130,6 +132,24 @@ class CacheManager {
     if (opts_.model == CacheModel::kPerThread) {
       worker_caches_.resize(static_cast<std::size_t>(rt->workersPerProc()));
       for (auto& wc : worker_caches_) wc = std::make_unique<WorkerCache>();
+    }
+    // Pre-register the cache's instruments so every hot-path update is a
+    // plain Counter::add (wait-free) with no registry lookup. Instruments
+    // are process-global in the registry: all CacheManagers of a run sum
+    // into the same counters, which is what a scrape wants.
+    metrics_ = Metrics{};
+    if (opts_.instr.metrics != nullptr) {
+      auto& reg = *opts_.instr.metrics;
+      metrics_.hits = &reg.counter("cache.hits");
+      metrics_.misses = &reg.counter("cache.misses");
+      metrics_.shared_waits = &reg.counter("cache.shared_waits");
+      metrics_.requests_served = &reg.counter("cache.requests_served");
+      metrics_.fills = &reg.counter("cache.fills");
+      metrics_.nodes_inserted = &reg.counter("cache.nodes_inserted");
+      metrics_.bytes_received = &reg.counter("cache.bytes_received");
+      metrics_.pauses = &reg.counter("cache.pauses");
+      metrics_.preloaded_nodes = &reg.counter("cache.preloaded_nodes");
+      metrics_.lock_wait_ns = &reg.counter("cache.lock_wait_ns");
     }
   }
 
@@ -244,6 +264,7 @@ class CacheManager {
     if (ph == nullptr || !ph->placeholder()) return;
     stats_.preloaded_nodes.fetch_add(block.records.size(),
                                      std::memory_order_relaxed);
+    bump(metrics_.preloaded_nodes, block.records.size());
     insertShared(block, ph);
   }
 
@@ -253,17 +274,20 @@ class CacheManager {
   /// arrived concurrently, `resume` is enqueued immediately.
   void requestThenResume(Node<Data>* ph, std::function<void()> resume,
                          int worker_slot) {
-    rts::ActivityScope scope(opts_.profiler, rts::Activity::kCacheRequest);
+    rts::ActivityScope scope(opts_.instr.profiler, rts::Activity::kCacheRequest);
     stats_.pauses.fetch_add(1, std::memory_order_relaxed);
+    bump(metrics_.pauses);
     if (opts_.model == CacheModel::kPerThread) {
       requestPerThread(ph, std::move(resume), worker_slot);
       return;
     }
     const bool first = !ph->requested.exchange(true, std::memory_order_acq_rel);
     if (first) sendRequest(ph, worker_slot);
+    else bump(metrics_.shared_waits);
     auto* w = new Waiter{nullptr, std::move(resume)};
     if (!ph->addWaiter(w)) {
       // Already published: the parent's child link holds the fresh node.
+      bump(metrics_.hits);
       rt_->enqueue(proc_, std::move(w->resume));
       delete w;
     }
@@ -287,6 +311,25 @@ class CacheManager {
     std::deque<Node<Data>> nodes;
     std::vector<Particle> particles;
   };
+
+  /// Pre-registered registry instruments; null pointers when no registry
+  /// is attached (see init()).
+  struct Metrics {
+    obs::Counter* hits = nullptr;          ///< request found data published
+    obs::Counter* misses = nullptr;        ///< requests that fetched (sent)
+    obs::Counter* shared_waits = nullptr;  ///< piggybacked on in-flight fetch
+    obs::Counter* requests_served = nullptr;
+    obs::Counter* fills = nullptr;
+    obs::Counter* nodes_inserted = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* pauses = nullptr;
+    obs::Counter* preloaded_nodes = nullptr;
+    obs::Counter* lock_wait_ns = nullptr;
+  };
+
+  static void bump(obs::Counter* c, std::uint64_t delta = 1) {
+    if (c != nullptr) c->add(delta);
+  }
 
   struct WorkerEntry {
     bool filled = false;
@@ -364,6 +407,7 @@ class CacheManager {
 
   void sendRequest(Node<Data>* ph, int worker_slot) {
     stats_.requests_sent.fetch_add(1, std::memory_order_relaxed);
+    bump(metrics_.misses);
     const int home = ph->home_proc;
     const Key key = ph->key;
     const int requester = proc_;
@@ -380,8 +424,9 @@ class CacheManager {
   /// Home side (Fig 2, Step 1): serialize the region and reply.
   void serveRequest(Key key, int requester, CacheManager* req_cache,
                     Node<Data>* ph, int worker_slot) {
-    rts::ActivityScope scope(opts_.profiler, rts::Activity::kCacheRequest);
+    rts::ActivityScope scope(opts_.instr.profiler, rts::Activity::kCacheRequest);
     stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
+    bump(metrics_.requests_served);
     Node<Data>* node = localNode(key);
     assert(node != nullptr && "request for a key not homed here");
     auto block = std::make_shared<ResponseBlock<Data>>(
@@ -396,9 +441,15 @@ class CacheManager {
   /// least busy by the runtime.
   void handleResponse(std::shared_ptr<ResponseBlock<Data>> block,
                       Node<Data>* ph, int worker_slot, std::size_t bytes) {
-    rts::ActivityScope scope(opts_.profiler, rts::Activity::kCacheInsertion);
+    rts::ActivityScope scope(opts_.instr.profiler,
+                             rts::Activity::kCacheInsertion);
+    obs::TraceSpan span(opts_.instr.trace, "cache.fill", "cache",
+                        rts::Runtime::currentProc(),
+                        rts::Runtime::currentWorker());
     stats_.fills.fetch_add(1, std::memory_order_relaxed);
     stats_.bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+    bump(metrics_.fills);
+    bump(metrics_.bytes_received, bytes);
     switch (opts_.model) {
       case CacheModel::kWaitFree:
         insertShared(*block, ph);
@@ -432,11 +483,10 @@ class CacheManager {
 
   void recordLockWait(std::chrono::steady_clock::time_point start) {
     const auto waited = std::chrono::steady_clock::now() - start;
-    stats_.lock_wait_ns.fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
-                .count()),
-        std::memory_order_relaxed);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count());
+    stats_.lock_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    bump(metrics_.lock_wait_ns, ns);
   }
 
   void drainInserterQueue() {
@@ -498,6 +548,7 @@ class CacheManager {
             rec.child_slot, n);
       }
       stats_.nodes_inserted.fetch_add(1, std::memory_order_relaxed);
+      bump(metrics_.nodes_inserted);
     }
     return made.empty() ? nullptr : made[0];
   }
@@ -546,6 +597,7 @@ class CacheManager {
       std::lock_guard lock(wc.mutex);
       WorkerEntry& entry = wc.entries[ph->key];
       if (entry.filled) {
+        bump(metrics_.hits);
         rt_->enqueue(proc_, std::move(resume));
         return;
       }
@@ -553,6 +605,7 @@ class CacheManager {
       entry.waiters.push_back(std::move(resume));
     }
     if (is_new) sendRequest(ph, worker_slot);
+    else bump(metrics_.shared_waits);
   }
 
   void insertPerThread(const ResponseBlock<Data>& block, int worker_slot) {
@@ -597,6 +650,7 @@ class CacheManager {
   std::vector<std::unique_ptr<WorkerCache>> worker_caches_;
 
   Stats stats_;
+  Metrics metrics_{};
 };
 
 }  // namespace paratreet

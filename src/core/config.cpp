@@ -11,6 +11,14 @@ std::string toString(TreeType t) {
   return "?";
 }
 
+bool fromString(const std::string& s, TreeType& out) {
+  if (s == "oct") out = TreeType::eOct;
+  else if (s == "kd") out = TreeType::eKd;
+  else if (s == "longest") out = TreeType::eLongest;
+  else return false;
+  return true;
+}
+
 std::string toString(CacheModel m) {
   switch (m) {
     case CacheModel::kWaitFree: return "WaitFree";
@@ -19,6 +27,65 @@ std::string toString(CacheModel m) {
     case CacheModel::kSingleInserter: return "SingleInserter";
   }
   return "?";
+}
+
+bool fromString(const std::string& s, CacheModel& out) {
+  if (s == "WaitFree") out = CacheModel::kWaitFree;
+  else if (s == "XWrite") out = CacheModel::kXWrite;
+  else if (s == "Sequential") out = CacheModel::kPerThread;
+  else if (s == "SingleInserter") out = CacheModel::kSingleInserter;
+  else return false;
+  return true;
+}
+
+std::string toString(LbScheme s) {
+  switch (s) {
+    case LbScheme::kNone: return "none";
+    case LbScheme::kSfc: return "sfc";
+    case LbScheme::kGreedy: return "greedy";
+  }
+  return "?";
+}
+
+bool fromString(const std::string& s, LbScheme& out) {
+  if (s == "none") out = LbScheme::kNone;
+  else if (s == "sfc") out = LbScheme::kSfc;
+  else if (s == "greedy") out = LbScheme::kGreedy;
+  else return false;
+  return true;
+}
+
+std::string Configuration::validate() const {
+  const auto bad = [](const std::string& field, long long value,
+                      const std::string& why) {
+    return "Configuration." + field + " = " + std::to_string(value) + ": " +
+           why;
+  };
+  if (num_iterations < 0) {
+    return bad("num_iterations", num_iterations, "must be >= 0");
+  }
+  if (min_partitions < 1) {
+    return bad("min_partitions", min_partitions, "need at least one Partition");
+  }
+  if (min_subtrees < 1) {
+    return bad("min_subtrees", min_subtrees, "need at least one Subtree");
+  }
+  if (bucket_size <= 0) {
+    return bad("bucket_size", bucket_size,
+               "leaf buckets must hold at least one particle");
+  }
+  if (fetch_depth < 1) {
+    return bad("fetch_depth", fetch_depth,
+               "each cache fill must ship at least one tree level");
+  }
+  if (share_levels < 0) {
+    return bad("share_levels", share_levels, "must be >= 0");
+  }
+  if (lb_period < 0) {
+    return bad("lb_period", lb_period,
+               "must be >= 0 (0 disables rebalancing)");
+  }
+  return {};
 }
 
 }  // namespace paratreet

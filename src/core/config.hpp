@@ -15,6 +15,8 @@ enum class TreeType {
 };
 
 std::string toString(TreeType t);
+/// Parse the toString() spelling (case-sensitive); false on unknown input.
+bool fromString(const std::string& s, TreeType& out);
 
 /// Software-cache models compared in Fig 3. kWaitFree is the paper's
 /// contribution; the others are the baselines it is evaluated against.
@@ -26,6 +28,7 @@ enum class CacheModel {
 };
 
 std::string toString(CacheModel m);
+bool fromString(const std::string& s, CacheModel& out);
 
 /// Built-in load-balancing schemes selectable from the Configuration.
 enum class LbScheme {
@@ -33,6 +36,9 @@ enum class LbScheme {
   kSfc,     ///< SFC-chunk remapping of measured load (ChaNGa's scheme)
   kGreedy,  ///< greedy list scheduling of measured load
 };
+
+std::string toString(LbScheme s);
+bool fromString(const std::string& s, LbScheme& out);
 
 /// Run and performance parameters of a simulation, mirroring the paper's
 /// Configuration object (Section II.D.2). Applications fill this in
@@ -70,6 +76,12 @@ struct Configuration {
   /// Bits per tree level implied by tree_type (3 for octrees, 1 for the
   /// binary trees).
   int bitsPerLevel() const { return tree_type == TreeType::eOct ? 3 : 1; }
+
+  /// Check the run parameters for values that would silently misbehave
+  /// (non-positive bucket sizes, zero fetch depth, negative periods, ...).
+  /// Returns an empty string when valid, else a descriptive error naming
+  /// the offending field and value. Driver::run() calls this and throws.
+  std::string validate() const;
 
   /// The tree-consistent decomposition used for Subtrees.
   DecompType subtreeDecomp() const {

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <utility>
+
+#include "core/config.hpp"
+#include "tree/tree_types.hpp"
+
+namespace paratreet {
+
+/// Call `fn` with a default-constructed tree-type policy matching the
+/// runtime `TreeType` value; lets benchmarks and drivers select the tree
+/// type from configuration while the traversal code stays statically
+/// typed (the paper's class-template technique). This is the one
+/// enum→policy dispatch point — benches use it instead of per-file
+/// switch statements.
+template <typename Fn>
+decltype(auto) dispatchTreeType(TreeType t, Fn&& fn) {
+  switch (t) {
+    case TreeType::eOct: return fn(OctTreeType{});
+    case TreeType::eKd: return fn(KdTreeType{});
+    case TreeType::eLongest: return fn(LongestDimTreeType{});
+  }
+  return fn(OctTreeType{});
+}
+
+/// The tree-consistent decomposition for a tree type (the pairing every
+/// bench re-derived by hand): octrees decompose by octants, the binary
+/// trees by their own split rule.
+inline DecompType treeConsistentDecomp(TreeType t) {
+  switch (t) {
+    case TreeType::eOct: return DecompType::eOct;
+    case TreeType::eKd: return DecompType::eKd;
+    case TreeType::eLongest: return DecompType::eLongest;
+  }
+  return DecompType::eOct;
+}
+
+/// Run `fn(TreeType, policy)` once per supported tree type, in enum
+/// order — for benches sweeping every tree type.
+template <typename Fn>
+void forEachTreeType(Fn&& fn) {
+  for (TreeType t : {TreeType::eOct, TreeType::eKd, TreeType::eLongest}) {
+    dispatchTreeType(t, [&](auto policy) { fn(t, policy); });
+  }
+}
+
+}  // namespace paratreet

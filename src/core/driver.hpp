@@ -1,26 +1,15 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
+#include "core/dispatch.hpp"
 #include "core/forest.hpp"
+#include "observability/instrumentation.hpp"
 #include "util/snapshot.hpp"
 
 namespace paratreet {
-
-/// Call `fn` with a default-constructed tree-type policy matching the
-/// runtime `TreeType` value; lets benchmarks and drivers select the tree
-/// type from configuration while the traversal code stays statically
-/// typed (the paper's class-template technique).
-template <typename Fn>
-decltype(auto) dispatchTreeType(TreeType t, Fn&& fn) {
-  switch (t) {
-    case TreeType::eOct: return fn(OctTreeType{});
-    case TreeType::eKd: return fn(KdTreeType{});
-    case TreeType::eLongest: return fn(LongestDimTreeType{});
-  }
-  return fn(OctTreeType{});
-}
 
 /// The application entry point, mirroring the paper's Fig 8: subclass,
 /// fill the Configuration in configure(), kick off traversals in
@@ -46,17 +35,27 @@ class Driver {
   /// `particles` is empty and the Configuration names an input_file, the
   /// particles are loaded from that snapshot (paper Fig 8's
   /// conf.input_file).
+  ///
+  /// `instr` is the caller-owned instrumentation context (profiler,
+  /// metrics registry, trace buffer — any subset); default is fully
+  /// disabled. The Configuration is validated before anything runs;
+  /// nonsensical values throw std::invalid_argument.
   void run(rts::Runtime& rt, std::vector<Particle> particles,
-           rts::ActivityProfiler* profiler = nullptr) {
+           Instrumentation instr = {}) {
     Configuration conf;
     configure(conf);
+    if (auto err = conf.validate(); !err.empty()) {
+      throw std::invalid_argument(err);
+    }
+    if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
     if (particles.empty() && !conf.input_file.empty()) {
       particles = makeParticles(loadSnapshot(conf.input_file));
     }
-    forest_ = std::make_unique<Forest<Data, TreeTypeT>>(rt, conf, profiler);
+    forest_ = std::make_unique<Forest<Data, TreeTypeT>>(rt, conf, instr);
     forest_->load(std::move(particles));
     forest_->decompose();
     for (int iter = 0; iter < conf.num_iterations; ++iter) {
+      obs::TraceSpan span(instr.trace, "iteration", "driver");
       forest_->build();
       traversal(iter);
       postTraversal(iter);
@@ -74,6 +73,17 @@ class Driver {
       }
       if (iter + 1 < conf.num_iterations) forest_->flush();
     }
+    if (instr.metrics != nullptr) rt.attachMetrics(nullptr);
+  }
+
+  /// Transitional overload for the pre-Instrumentation API; wraps the
+  /// profiler in a metrics-less context. Remove after one release.
+  [[deprecated("pass an Instrumentation context instead of a raw "
+               "ActivityProfiler*")]]
+  void run(rts::Runtime& rt, std::vector<Particle> particles,
+           rts::ActivityProfiler* profiler) {
+    run(rt, std::move(particles),
+        Instrumentation{profiler, nullptr, nullptr});
   }
 
   /// The engine; valid during and after run().

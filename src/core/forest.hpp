@@ -20,6 +20,7 @@
 #include "core/subtree.hpp"
 #include "core/traversal.hpp"
 #include "decomp/decomposition.hpp"
+#include "observability/instrumentation.hpp"
 #include "rts/profiler.hpp"
 #include "rts/runtime.hpp"
 #include "tree/tree_types.hpp"
@@ -72,9 +73,16 @@ struct PhaseTimes {
 template <typename Data, typename TreeTypeT>
 class Forest {
  public:
-  Forest(rts::Runtime& rt, Configuration conf,
-         rts::ActivityProfiler* profiler = nullptr)
-      : rt_(rt), conf_(std::move(conf)), profiler_(profiler) {}
+  Forest(rts::Runtime& rt, Configuration conf, Instrumentation instr = {})
+      : rt_(rt), conf_(std::move(conf)), instr_(instr) {}
+
+  [[deprecated("pass an Instrumentation context instead of a raw "
+               "ActivityProfiler*")]]
+  Forest(rts::Runtime& rt, Configuration conf, rts::ActivityProfiler* profiler)
+      : Forest(rt, std::move(conf),
+               Instrumentation{profiler, nullptr, nullptr}) {}
+
+  const Instrumentation& instrumentation() const { return instr_; }
 
   const Configuration& config() const { return conf_; }
   rts::Runtime& runtime() { return rt_; }
@@ -107,6 +115,7 @@ class Forest {
   /// colocate Partition i with Subtree i.
   void decompose() {
     WallTimer timer;
+    obs::TraceSpan span(instr_.trace, "decompose", "phase");
     universe_ = OrientedBox{};
     for (const auto& p : particles_) universe_.grow(p.position);
     // Pad so particles on the boundary stay strictly inside (keys clamp).
@@ -149,7 +158,9 @@ class Forest {
     for (const auto& p : particles_) {
       subtrees_[static_cast<std::size_t>(p.subtree)]->particles.push_back(p);
     }
-    times_.decompose += timer.seconds();
+    const double seconds = timer.seconds();
+    times_.decompose += seconds;
+    emitPhase("decompose", seconds);
   }
 
   /// Tree build + cache setup + leaf sharing, all on the workers.
@@ -157,6 +168,7 @@ class Forest {
   /// build's buckets and caches first.
   void build() {
     WallTimer timer;
+    obs::TraceSpan span(instr_.trace, "build", "phase");
     split_buckets_ = 0;
     for (auto& pp : partitions_) {
       pp->clear();
@@ -168,7 +180,7 @@ class Forest {
     copts.model = conf_.cache_model;
     copts.fetch_depth = conf_.fetch_depth;
     copts.bits_per_level = conf_.bitsPerLevel();
-    copts.profiler = profiler_;
+    copts.instr = instr_;
     for (int p = 0; p < rt_.numProcs(); ++p) {
       caches_[static_cast<std::size_t>(p)].init(&rt_, p, copts, &caches_);
     }
@@ -178,7 +190,7 @@ class Forest {
     for (auto& stp : subtrees_) {
       Subtree<Data>* st = stp.get();
       rt_.enqueue(st->home_proc, [this, st] {
-        rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+        rts::ActivityScope scope(instr_.profiler, rts::Activity::kTreeBuild);
         st->build(tree_type_, conf_.bucket_size);
         caches_[static_cast<std::size_t>(st->home_proc)].insertLocalRoot(
             st->root->key, st->root);
@@ -193,7 +205,7 @@ class Forest {
     const std::size_t bytes = records.size() * sizeof(RootRecord<Data>);
     for (int p = 0; p < rt_.numProcs(); ++p) {
       rt_.send(0, p, p == 0 ? 0 : bytes, [this, p, records] {
-        rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+        rts::ActivityScope scope(instr_.profiler, rts::Activity::kTreeBuild);
         caches_[static_cast<std::size_t>(p)].buildUpperTree(records, universe_);
       });
     }
@@ -207,13 +219,13 @@ class Forest {
       for (auto& stp : subtrees_) {
         Subtree<Data>* st = stp.get();
         rt_.enqueue(st->home_proc, [this, st, levels] {
-          rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+          rts::ActivityScope scope(instr_.profiler, rts::Activity::kTreeBuild);
           auto block = std::make_shared<ResponseBlock<Data>>(
               serializeRegion(st->root, levels));
           for (int p = 0; p < rt_.numProcs(); ++p) {
             if (p == st->home_proc) continue;
             rt_.send(st->home_proc, p, block->byteSize(), [this, p, block] {
-              rts::ActivityScope insert_scope(profiler_,
+              rts::ActivityScope insert_scope(instr_.profiler,
                                               rts::Activity::kTreeBuild);
               caches_[static_cast<std::size_t>(p)].preload(*block);
             });
@@ -229,13 +241,17 @@ class Forest {
     for (auto& stp : subtrees_) {
       Subtree<Data>* st = stp.get();
       rt_.enqueue(st->home_proc, [this, st] {
-        rts::ActivityScope scope(profiler_, rts::Activity::kTreeBuild);
+        rts::ActivityScope scope(instr_.profiler, rts::Activity::kTreeBuild);
         shareLeaves(*st);
       });
     }
     rt_.drain();
-    times_.leaf_share += share_timer.seconds();
-    times_.build += timer.seconds();
+    const double share_seconds = share_timer.seconds();
+    times_.leaf_share += share_seconds;
+    const double seconds = timer.seconds();
+    times_.build += seconds;
+    emitPhase("build", seconds);
+    emitPhase("leaf_share", share_seconds);
   }
 
   /// Run a top-down traversal with visitor `V` over every Partition and
@@ -244,38 +260,48 @@ class Forest {
   void traverse(V visitor = {},
                 TraversalStyle style = TraversalStyle::kTransposed) {
     WallTimer timer;
+    obs::TraceSpan span(instr_.trace, "traverse.top_down", "traversal");
     std::vector<std::unique_ptr<TraverserBase>> traversers;
     traversers.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<TopDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, style, profiler_);
+          visitor, style, instr_.profiler);
       auto* raw = trav.get();
       traversers.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
-    times_.traverse += timer.seconds();
+    {
+      const double seconds = timer.seconds();
+      times_.traverse += seconds;
+      emitPhase("traverse", seconds);
+    }
   }
 
   /// Run an up-and-down traversal (k-nearest-neighbour style).
   template <typename V>
   void traverseUpAndDown(V visitor = {}) {
     WallTimer timer;
+    obs::TraceSpan span(instr_.trace, "traverse.up_and_down", "traversal");
     std::vector<std::unique_ptr<TraverserBase>> traversers;
     traversers.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<UpAndDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, profiler_);
+          visitor, instr_.profiler);
       auto* raw = trav.get();
       traversers.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
-    times_.traverse += timer.seconds();
+    {
+      const double seconds = timer.seconds();
+      times_.traverse += seconds;
+      emitPhase("traverse", seconds);
+    }
   }
 
   /// Run a dual-tree traversal with visitor `V` (cell()-driven) over
@@ -283,19 +309,24 @@ class Forest {
   template <typename V>
   void traverseDualTree(V visitor = {}) {
     WallTimer timer;
+    obs::TraceSpan span(instr_.trace, "traverse.dual_tree", "traversal");
     std::vector<std::unique_ptr<TraverserBase>> traversers;
     traversers.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<DualTreeTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, profiler_);
+          visitor, instr_.profiler);
       auto* raw = trav.get();
       traversers.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
-    times_.traverse += timer.seconds();
+    {
+      const double seconds = timer.seconds();
+      times_.traverse += seconds;
+      emitPhase("traverse", seconds);
+    }
   }
 
   /// Run a best-first (priority-driven) traversal with visitor `V` over
@@ -304,19 +335,24 @@ class Forest {
   template <typename V>
   void traversePriority(V visitor = {}) {
     WallTimer timer;
+    obs::TraceSpan span(instr_.trace, "traverse.priority", "traversal");
     std::vector<std::unique_ptr<TraverserBase>> traversers;
     traversers.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<PriorityTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, profiler_);
+          visitor, instr_.profiler);
       auto* raw = trav.get();
       traversers.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
-    times_.traverse += timer.seconds();
+    {
+      const double seconds = timer.seconds();
+      times_.traverse += seconds;
+      emitPhase("traverse", seconds);
+    }
   }
 
   /// Measured traversal load of every Partition (seconds, last
@@ -430,6 +466,15 @@ class Forest {
   }
 
  private:
+  /// Accumulate one phase duration into the registry gauge
+  /// "phase.<name>_seconds". Once-per-phase, so the registry lookup
+  /// (mutexed) is off the hot path; no-op without a registry.
+  void emitPhase(const char* name, double seconds) {
+    if (instr_.metrics == nullptr) return;
+    instr_.metrics->gauge(std::string("phase.") + name + "_seconds")
+        .add(seconds);
+  }
+
   /// Block placement of chare `i` of `n` onto processes.
   int placeOf(int i, int n) const {
     const int procs = rt_.numProcs();
@@ -478,7 +523,7 @@ class Forest {
 
   rts::Runtime& rt_;
   Configuration conf_;
-  rts::ActivityProfiler* profiler_;
+  Instrumentation instr_;
   TreeTypeT tree_type_{};
 
   OrientedBox universe_{};

@@ -17,6 +17,15 @@ std::string toString(DecompType t) {
   return "?";
 }
 
+bool fromString(const std::string& s, DecompType& out) {
+  if (s == "sfc") out = DecompType::eSfc;
+  else if (s == "oct") out = DecompType::eOct;
+  else if (s == "kd") out = DecompType::eKd;
+  else if (s == "longest") out = DecompType::eLongest;
+  else return false;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // SFC
 

@@ -23,6 +23,8 @@ enum class DecompType {
 };
 
 std::string toString(DecompType t);
+/// Parse the toString() spelling (case-sensitive); false on unknown input.
+bool fromString(const std::string& s, DecompType& out);
 
 /// A tree-consistent region produced by a decomposition: the root of one
 /// Subtree. `key` is the tree-node key of the region (octree keys for

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paratreet::obs {
+
+/// One completed span: a named interval on one worker thread. Matches the
+/// Chrome trace_event "complete" ("ph":"X") event shape so a dump can be
+/// loaded straight into chrome://tracing / Perfetto.
+struct TraceEvent {
+  const char* name = "";      ///< static string (span sites are literals)
+  const char* category = "";  ///< e.g. "phase", "traversal", "cache"
+  std::int64_t start_us = 0;  ///< microseconds since the buffer's origin
+  std::int64_t duration_us = 0;
+  std::int32_t proc = -1;     ///< logical process (-1: off-worker)
+  std::int32_t worker = -1;   ///< worker within the process (-1: off-worker)
+};
+
+/// Fixed-capacity concurrent buffer of completed spans.
+///
+/// Recording is wait-free: one fetch_add claims a slot, one plain write
+/// fills it, one release-store publishes it. When the buffer fills, later
+/// spans are counted in dropped() and otherwise discarded — tracing
+/// degrades, it never blocks the traversal.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16)
+      : origin_(std::chrono::steady_clock::now()),
+        slots_(capacity),
+        ready_(capacity) {
+    for (auto& r : ready_) r.store(false, std::memory_order_relaxed);
+  }
+
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Number of spans successfully recorded (clamped to capacity).
+  std::size_t size() const {
+    return std::min(next_.load(std::memory_order_acquire), slots_.size());
+  }
+  std::uint64_t dropped() const {
+    const auto claimed = next_.load(std::memory_order_relaxed);
+    return claimed > slots_.size() ? claimed - slots_.size() : 0;
+  }
+
+  void record(const TraceEvent& ev) {
+    const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= slots_.size()) return;
+    slots_[slot] = ev;
+    ready_[slot].store(true, std::memory_order_release);
+  }
+
+  /// Copy out every published span (export phase; racing recorders may
+  /// still be claiming slots — unpublished slots are skipped).
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ready_[i].load(std::memory_order_acquire)) out.push_back(slots_[i]);
+    }
+    return out;
+  }
+
+  /// Discard all spans and restart the clock origin. Not concurrent-safe
+  /// with record(); call between phases.
+  void reset() {
+    next_.store(0, std::memory_order_relaxed);
+    for (auto& r : ready_) r.store(false, std::memory_order_relaxed);
+    origin_ = std::chrono::steady_clock::now();
+  }
+
+  std::int64_t sinceOriginUs(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(t - origin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<TraceEvent> slots_;
+  std::vector<std::atomic<bool>> ready_;
+  std::atomic<std::size_t> next_{0};
+};
+
+/// RAII span: construction stamps the start, destruction records the
+/// completed event. A null buffer makes the scope a no-op, mirroring
+/// rts::ActivityScope, so instrumented paths never branch per call site.
+class TraceSpan {
+ public:
+  TraceSpan(TraceBuffer* buffer, const char* name, const char* category,
+            std::int32_t proc = -1, std::int32_t worker = -1)
+      : buffer_(buffer), name_(name), category_(category), proc_(proc),
+        worker_(worker),
+        start_(buffer ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{}) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (buffer_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    TraceEvent ev;
+    ev.name = name_;
+    ev.category = category_;
+    ev.start_us = buffer_->sinceOriginUs(start_);
+    ev.duration_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+            .count();
+    ev.proc = proc_;
+    ev.worker = worker_;
+    buffer_->record(ev);
+  }
+
+ private:
+  TraceBuffer* buffer_;
+  const char* name_;
+  const char* category_;
+  std::int32_t proc_;
+  std::int32_t worker_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace paratreet::obs

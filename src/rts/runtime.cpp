@@ -37,15 +37,45 @@ Runtime::~Runtime() {
   for (auto& t : threads_) t.join();
 }
 
+void Runtime::attachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  auto m = std::make_unique<SchedulerMetrics>();
+  m->tasks = &registry->counter("rts.tasks_executed");
+  m->messages = &registry->counter("rts.messages");
+  m->message_bytes = &registry->counter("rts.message_bytes");
+  m->queue_depth = &registry->histogram(
+      "rts.queue_depth", obs::exponentialBounds(1.0, 2.0, 12));
+  m->busy_ns.reserve(static_cast<std::size_t>(numWorkers()));
+  m->idle_ns.reserve(static_cast<std::size_t>(numWorkers()));
+  for (int p = 0; p < config_.n_procs; ++p) {
+    for (int w = 0; w < config_.workers_per_proc; ++w) {
+      const std::string id =
+          "rts.worker.p" + std::to_string(p) + ".w" + std::to_string(w);
+      m->busy_ns.push_back(&registry->counter(id + ".busy_ns"));
+      m->idle_ns.push_back(&registry->counter(id + ".idle_ns"));
+    }
+  }
+  metrics_storage_ = std::move(m);
+  metrics_.store(metrics_storage_.get(), std::memory_order_release);
+}
+
 void Runtime::enqueue(int proc, Task task) {
   assert(proc >= 0 && proc < config_.n_procs);
   pending_.fetch_add(1, std::memory_order_relaxed);
   auto& q = *queues_[proc];
+  std::size_t depth;
   {
     std::lock_guard lock(q.mutex);
     q.ready.push_back(std::move(task));
+    depth = q.ready.size();
   }
   q.cv.notify_one();
+  if (auto* m = metrics_.load(std::memory_order_acquire)) {
+    m->queue_depth->observe(static_cast<double>(depth));
+  }
 }
 
 void Runtime::send(int from, int to, std::size_t bytes, Task on_receive) {
@@ -53,6 +83,10 @@ void Runtime::send(int from, int to, std::size_t bytes, Task on_receive) {
   (void)from;
   msg_count_.fetch_add(1, std::memory_order_relaxed);
   msg_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (auto* m = metrics_.load(std::memory_order_acquire)) {
+    m->messages->add(1);
+    m->message_bytes->add(bytes);
+  }
   if (!config_.comm.enabled() || from == to) {
     enqueue(to, std::move(on_receive));
     return;
@@ -105,6 +139,8 @@ void Runtime::resetStats() {
 void Runtime::workerLoop(int proc, int worker) {
   tls_proc = proc;
   tls_worker = worker;
+  const auto slot = static_cast<std::size_t>(
+      proc * config_.workers_per_proc + worker);
   auto& q = *queues_[proc];
   std::unique_lock lock(q.mutex);
   while (true) {
@@ -118,17 +154,35 @@ void Runtime::workerLoop(int proc, int worker) {
       Task task = std::move(q.ready.front());
       q.ready.pop_front();
       lock.unlock();
+      auto* m = metrics_.load(std::memory_order_acquire);
+      const auto t0 = m != nullptr ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
       task();
       task = nullptr;  // run destructors (captures) before finishTask
+      if (m != nullptr) {
+        const auto busy = std::chrono::steady_clock::now() - t0;
+        m->tasks->add(1);
+        m->busy_ns[slot]->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(busy)
+                .count()));
+      }
       finishTask();
       lock.lock();
       continue;
     }
     if (shutdown_.load(std::memory_order_acquire)) return;
+    auto* m = metrics_.load(std::memory_order_acquire);
+    const auto w0 = m != nullptr ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     if (!q.delayed.empty()) {
       q.cv.wait_until(lock, q.delayed.top().ready);
     } else {
       q.cv.wait(lock);
+    }
+    if (m != nullptr) {
+      const auto idle = std::chrono::steady_clock::now() - w0;
+      m->idle_ns[slot]->add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(idle).count()));
     }
   }
 }

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "observability/metrics.hpp"
+
 namespace paratreet::rts {
 
 /// A unit of work executed on one worker thread of one logical process.
@@ -85,6 +87,14 @@ class Runtime {
   CommStats stats() const;
   void resetStats();
 
+  /// Attach a metrics registry: the runtime registers its scheduler
+  /// instruments (task/message counters, per-worker busy/idle time,
+  /// ready-queue depth histogram) and records into them until detached
+  /// with attachMetrics(nullptr). Call only while quiescent (no tasks
+  /// running or queued); the hot-path cost when attached is a relaxed
+  /// atomic add per event, and a single atomic load when detached.
+  void attachMetrics(obs::MetricsRegistry* registry);
+
   /// Logical process of the calling worker thread, or -1 off-worker.
   static int currentProc();
   /// Worker index within its process, or -1 off-worker.
@@ -112,6 +122,17 @@ class Runtime {
   void workerLoop(int proc, int worker);
   void finishTask();
 
+  /// Pre-registered scheduler instruments (see attachMetrics).
+  struct SchedulerMetrics {
+    obs::Counter* tasks = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Counter* message_bytes = nullptr;
+    obs::Histogram* queue_depth = nullptr;
+    /// Indexed by global worker (proc * workers_per_proc + worker).
+    std::vector<obs::Counter*> busy_ns;
+    std::vector<obs::Counter*> idle_ns;
+  };
+
   Config config_;
   std::vector<std::unique_ptr<ProcQueue>> queues_;
   std::vector<std::thread> threads_;
@@ -124,6 +145,9 @@ class Runtime {
   std::atomic<std::uint64_t> msg_count_{0};
   std::atomic<std::uint64_t> msg_bytes_{0};
   std::atomic<std::uint64_t> delay_seq_{0};
+
+  std::unique_ptr<SchedulerMetrics> metrics_storage_;
+  std::atomic<SchedulerMetrics*> metrics_{nullptr};
 };
 
 }  // namespace paratreet::rts

@@ -72,7 +72,8 @@ TEST(Driver, ProfilerReceivesActivity) {
   rts::Runtime rt({2, 2});
   rts::ActivityProfiler profiler;
   GravityMain app;
-  app.run(rt, makeParticles(uniformCube(300, 9)), &profiler);
+  app.run(rt, makeParticles(uniformCube(300, 9)),
+          Instrumentation{&profiler, nullptr, nullptr});
   EXPECT_GT(profiler.seconds(rts::Activity::kTreeBuild), 0.0);
   EXPECT_GT(profiler.seconds(rts::Activity::kLocalTraversal), 0.0);
   // Two procs: remote fetches happened and were profiled.
