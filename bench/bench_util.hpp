@@ -10,6 +10,7 @@
 // reproduction targets recorded in EXPERIMENTS.md.
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <string>
 #include <string_view>
@@ -21,24 +22,63 @@
 
 namespace paratreet::bench {
 
-/// Strip a `--metrics-out=<path>` flag from argv — wherever it appears, so
-/// the benches' positional-argument indices are unaffected — and return the
-/// path ("-" means stdout; empty when the flag is absent). Every bench
-/// shares this one flag as its way to opt into the observability layer.
-inline std::string stripMetricsOutArg(int& argc, char** argv) {
-  constexpr std::string_view kFlag = "--metrics-out=";
-  std::string path;
+/// Strip every occurrence of `--<flag>=<value>` from argv — wherever it
+/// appears, so positional-argument indices are unaffected — and store the
+/// last value seen. Returns true when the flag was present. `flag` must
+/// include the trailing '=' (e.g. "--metrics-out=").
+inline bool stripFlagArg(int& argc, char** argv, std::string_view flag,
+                         std::string& value) {
+  bool found = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg.substr(0, kFlag.size()) == kFlag) {
-      path = std::string(arg.substr(kFlag.size()));
+    if (arg.substr(0, flag.size()) == flag) {
+      value = std::string(arg.substr(flag.size()));
+      found = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  return found;
+}
+
+/// Strip a `--metrics-out=<path>` flag and return the path ("-" means
+/// stdout; empty when the flag is absent). Every bench shares this one
+/// flag as its way to opt into the observability layer.
+inline std::string stripMetricsOutArg(int& argc, char** argv) {
+  std::string path;
+  stripFlagArg(argc, argv, "--metrics-out=", path);
   return path;
+}
+
+/// Strip the shared chaos flags and return the resulting fault schedule:
+///
+///   --chaos-seed=<n>   enable fault injection with seed n and a standard
+///                      mixed schedule (drops, duplicates, delays, a few
+///                      reorders) unless probabilities are given explicitly
+///   --fault-drop=<p>   enable injection and set the drop probability
+///
+/// Returns a disabled config when neither flag is present. Enabled
+/// schedules arm the drain watchdog (30 s) so a bug in resilient delivery
+/// surfaces as a thrown diagnostic instead of a hung bench.
+inline rts::FaultConfig stripChaosArgs(int& argc, char** argv) {
+  rts::FaultConfig fault;
+  std::string value;
+  if (stripFlagArg(argc, argv, "--chaos-seed=", value)) {
+    fault.enabled = true;
+    fault.seed = std::strtoull(value.c_str(), nullptr, 10);
+    fault.drop_p = 0.1;
+    fault.duplicate_p = 0.05;
+    fault.delay_p = 0.1;
+    fault.reorder_p = 0.05;
+  }
+  if (stripFlagArg(argc, argv, "--fault-drop=", value)) {
+    fault.enabled = true;
+    fault.drop_p = std::strtod(value.c_str(), nullptr);
+  }
+  if (fault.enabled) fault.drain_deadline_ms = 30000.0;
+  return fault;
 }
 
 /// End-of-run half of the --metrics-out story: no-op when `path` is empty,

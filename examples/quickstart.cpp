@@ -7,20 +7,26 @@
 // are the library's business.
 //
 // Usage: quickstart [n_particles] [n_procs] [workers_per_proc]
-//                    [--metrics-out=<file>]
+//                    [--metrics-out=<file>] [--chaos-seed=<n>]
+//                    [--fault-drop=<p>]
 //
 // --metrics-out enables the observability layer (metrics registry, trace
 // buffer, activity profiler) and writes its JSON report to <file>
 // ("-" = stdout); see README "Observability" for the schema.
+//
+// --chaos-seed / --fault-drop inject a seeded schedule of transport
+// faults (drops, duplicates, delays); the runtime's reliable-delivery
+// layer must still produce the same answer. See README "Resilience".
 
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
-#include <string_view>
 
+#include "bench/bench_util.hpp"
 #include "core/driver.hpp"
 #include "observability/report.hpp"
+#include "rts/reliable.hpp"
 
 using namespace paratreet;
 
@@ -88,29 +94,20 @@ struct MassInBallVisitor {
 };
 
 int main(int argc, char** argv) {
-  // Strip the optional --metrics-out=<file> flag before positional args.
-  std::string metrics_out;
-  bool metrics_enabled = false;
-  {
-    constexpr std::string_view kFlag = "--metrics-out=";
-    int kept = 1;
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      if (arg.substr(0, kFlag.size()) == kFlag) {
-        metrics_out = std::string(arg.substr(kFlag.size()));
-        metrics_enabled = true;
-      } else {
-        argv[kept++] = argv[i];
-      }
-    }
-    argc = kept;
-  }
+  // Strip the optional flags (shared bench/ parser) before positionals.
+  const std::string metrics_out = bench::stripMetricsOutArg(argc, argv);
+  const bool metrics_enabled = !metrics_out.empty();
+  const rts::FaultConfig fault = bench::stripChaosArgs(argc, argv);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
   const int procs = argc > 2 ? std::atoi(argv[2]) : 2;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
 
   // --- 3. Configure and run. ----------------------------------------------
-  rts::Runtime rt({procs, workers});
+  rts::Runtime::Config rt_config;
+  rt_config.n_procs = procs;
+  rt_config.workers_per_proc = workers;
+  rt_config.fault = fault;
+  rts::Runtime rt(rt_config);
   Configuration conf;
   conf.tree_type = TreeType::eOct;
   conf.decomp_type = DecompType::eSfc;  // SFC partitions + octree subtrees
@@ -125,6 +122,7 @@ int main(int argc, char** argv) {
   const Instrumentation instr = metrics_enabled ? ob.handle()
                                                 : Instrumentation{};
   if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
+  if (instr.trace != nullptr) rt.attachTrace(instr.trace);
 
   Forest<MassData, OctTreeType> forest(rt, conf, instr);
   forest.load(makeParticles(uniformCube(n, /*seed=*/2024)));
@@ -148,9 +146,26 @@ int main(int argc, char** argv) {
   std::printf("cache fetches:      %llu (%llu bytes)\n",
               static_cast<unsigned long long>(stats.requests_sent),
               static_cast<unsigned long long>(stats.bytes_received));
+  if (const auto* inj = rt.faultInjector()) {
+    std::printf("injected faults:   ");
+    const auto counts = inj->counts();
+    for (std::size_t k = 0; k < rts::kNumFaultKinds; ++k) {
+      std::printf(" %s=%llu", rts::kFaultKindNames[k],
+                  static_cast<unsigned long long>(counts[k]));
+    }
+    std::printf("\n");
+    if (const auto* rel = rt.reliableLayer()) {
+      std::printf("reliable delivery:  retries=%llu dup_suppressed=%llu "
+                  "undeliverable=%llu\n",
+                  static_cast<unsigned long long>(rel->retries()),
+                  static_cast<unsigned long long>(rel->duplicatesSuppressed()),
+                  static_cast<unsigned long long>(rel->undeliverable()));
+    }
+  }
 
   if (metrics_enabled) {
     rt.attachMetrics(nullptr);  // quiesce before the registry goes away
+    rt.attachTrace(nullptr);
     try {
       obs::Reporter(ob.handle()).writeJson(metrics_out);
     } catch (const std::exception& e) {

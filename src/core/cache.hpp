@@ -66,6 +66,10 @@ class CacheManager {
     CacheModel model = CacheModel::kWaitFree;
     int fetch_depth = 3;
     int bits_per_level = 3;
+    /// Failed fills (injected fetch faults) are re-requested this many
+    /// times before degrading to a synchronous direct read of the owning
+    /// subtree; wired from the runtime's FaultConfig by Forest::build().
+    int max_fetch_retries = 3;
     /// Sinks for activity profiling, metrics, and tracing (all optional).
     Instrumentation instr{};
   };
@@ -85,6 +89,11 @@ class CacheManager {
     /// Nanoseconds spent waiting to acquire insertion locks (kXWrite /
     /// kSingleInserter); identically zero for the wait-free model.
     std::atomic<std::uint64_t> lock_wait_ns{0};
+    /// Re-requests after an injected fetch failure.
+    std::atomic<std::uint64_t> fetch_retries{0};
+    /// Fills that exhausted their retry budget and fell back to a
+    /// synchronous direct read of the owning subtree.
+    std::atomic<std::uint64_t> degraded_reads{0};
 
     void reset() {
       requests_sent = 0;
@@ -95,6 +104,8 @@ class CacheManager {
       pauses = 0;
       preloaded_nodes = 0;
       lock_wait_ns = 0;
+      fetch_retries = 0;
+      degraded_reads = 0;
     }
   };
 
@@ -108,6 +119,8 @@ class CacheManager {
     std::uint64_t pauses = 0;
     std::uint64_t preloaded_nodes = 0;
     std::uint64_t lock_wait_ns = 0;
+    std::uint64_t fetch_retries = 0;
+    std::uint64_t degraded_reads = 0;
 
     StatsSnapshot& operator+=(const Stats& s) {
       requests_sent += s.requests_sent.load(std::memory_order_relaxed);
@@ -118,6 +131,8 @@ class CacheManager {
       pauses += s.pauses.load(std::memory_order_relaxed);
       preloaded_nodes += s.preloaded_nodes.load(std::memory_order_relaxed);
       lock_wait_ns += s.lock_wait_ns.load(std::memory_order_relaxed);
+      fetch_retries += s.fetch_retries.load(std::memory_order_relaxed);
+      degraded_reads += s.degraded_reads.load(std::memory_order_relaxed);
       return *this;
     }
   };
@@ -150,6 +165,8 @@ class CacheManager {
       metrics_.pauses = &reg.counter("cache.pauses");
       metrics_.preloaded_nodes = &reg.counter("cache.preloaded_nodes");
       metrics_.lock_wait_ns = &reg.counter("cache.lock_wait_ns");
+      metrics_.fetch_retries = &reg.counter("cache.fetch_retries");
+      metrics_.degraded_reads = &reg.counter("cache.degraded_reads");
     }
   }
 
@@ -325,6 +342,8 @@ class CacheManager {
     obs::Counter* pauses = nullptr;
     obs::Counter* preloaded_nodes = nullptr;
     obs::Counter* lock_wait_ns = nullptr;
+    obs::Counter* fetch_retries = nullptr;
+    obs::Counter* degraded_reads = nullptr;
   };
 
   static void bump(obs::Counter* c, std::uint64_t delta = 1) {
@@ -406,8 +425,19 @@ class CacheManager {
   // --- request / fill protocol ------------------------------------------------
 
   void sendRequest(Node<Data>* ph, int worker_slot) {
-    stats_.requests_sent.fetch_add(1, std::memory_order_relaxed);
-    bump(metrics_.misses);
+    // One fetch_id spans a logical fill and all its retries, so the
+    // injector's fail/serve decision is per (fetch, attempt).
+    auto* inj = rt_ != nullptr ? rt_->faultInjector() : nullptr;
+    sendRequestAttempt(ph, worker_slot,
+                       inj != nullptr ? inj->nextFetchId() : 0, 0);
+  }
+
+  void sendRequestAttempt(Node<Data>* ph, int worker_slot,
+                          std::uint64_t fetch_id, int attempt) {
+    if (attempt == 0) {
+      stats_.requests_sent.fetch_add(1, std::memory_order_relaxed);
+      bump(metrics_.misses);
+    }
     const int home = ph->home_proc;
     const Key key = ph->key;
     const int requester = proc_;
@@ -415,18 +445,35 @@ class CacheManager {
     auto* caches = all_caches_;
     // Request message: key + routing metadata.
     rt_->send(proc_, home, sizeof(Key) + 3 * sizeof(int),
-              [caches, home, key, requester, req_cache, ph, worker_slot] {
+              [caches, home, key, requester, req_cache, ph, worker_slot,
+               fetch_id, attempt] {
                 (*caches)[static_cast<std::size_t>(home)].serveRequest(
-                    key, requester, req_cache, ph, worker_slot);
+                    key, requester, req_cache, ph, worker_slot, fetch_id,
+                    attempt);
               });
   }
 
-  /// Home side (Fig 2, Step 1): serialize the region and reply.
+  /// Home side (Fig 2, Step 1): serialize the region and reply. An
+  /// injected fetch failure replies with a nack instead of the payload;
+  /// the requester retries (sendRequestAttempt) until its budget runs
+  /// out, then degrades to a direct read.
   void serveRequest(Key key, int requester, CacheManager* req_cache,
-                    Node<Data>* ph, int worker_slot) {
+                    Node<Data>* ph, int worker_slot,
+                    std::uint64_t fetch_id = 0, int attempt = 0) {
     rts::ActivityScope scope(opts_.instr.profiler, rts::Activity::kCacheRequest);
     stats_.requests_served.fetch_add(1, std::memory_order_relaxed);
     bump(metrics_.requests_served);
+    if (auto* inj = rt_->faultInjector();
+        inj != nullptr &&
+        inj->onFetch(fetch_id, static_cast<std::uint32_t>(attempt))) {
+      rt_->noteFault(rts::FaultKind::kFetchFail);
+      rt_->send(proc_, requester, sizeof(Key) + 2 * sizeof(int),
+                [req_cache, ph, worker_slot, fetch_id, attempt] {
+                  req_cache->handleFetchFailure(ph, worker_slot, fetch_id,
+                                                attempt);
+                });
+      return;
+    }
     Node<Data>* node = localNode(key);
     assert(node != nullptr && "request for a key not homed here");
     auto block = std::make_shared<ResponseBlock<Data>>(
@@ -435,6 +482,41 @@ class CacheManager {
     rt_->send(proc_, requester, bytes, [req_cache, block, ph, worker_slot, bytes] {
       req_cache->handleResponse(std::move(block), ph, worker_slot, bytes);
     });
+  }
+
+  /// Requester side of a nacked fill: retry while the budget allows,
+  /// otherwise degrade.
+  void handleFetchFailure(Node<Data>* ph, int worker_slot,
+                          std::uint64_t fetch_id, int attempt) {
+    if (attempt < opts_.max_fetch_retries) {
+      stats_.fetch_retries.fetch_add(1, std::memory_order_relaxed);
+      bump(metrics_.fetch_retries);
+      obs::TraceSpan span(opts_.instr.trace, "cache.fetch_retry", "fault",
+                          rts::Runtime::currentProc(),
+                          rts::Runtime::currentWorker());
+      sendRequestAttempt(ph, worker_slot, fetch_id, attempt + 1);
+      return;
+    }
+    degradedRead(ph, worker_slot);
+  }
+
+  /// Last-resort fill: read the owning subtree synchronously out of the
+  /// home process's cache (all logical processes share this address
+  /// space, and local trees are read-only during traversal — the stand-in
+  /// for an RDMA/RGET side channel). Accounted as cache.degraded_reads.
+  void degradedRead(Node<Data>* ph, int worker_slot) {
+    obs::TraceSpan span(opts_.instr.trace, "cache.degraded_read", "fault",
+                        rts::Runtime::currentProc(),
+                        rts::Runtime::currentWorker());
+    stats_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
+    bump(metrics_.degraded_reads);
+    CacheManager& home = (*all_caches_)[static_cast<std::size_t>(ph->home_proc)];
+    Node<Data>* node = home.localNode(ph->key);
+    assert(node != nullptr && "degraded read for a key not homed there");
+    auto block = std::make_shared<ResponseBlock<Data>>(
+        serializeRegion(node, opts_.fetch_depth));
+    const std::size_t bytes = block->byteSize();
+    handleResponse(std::move(block), ph, worker_slot, bytes);
   }
 
   /// Requester side (Fig 2, Steps 2-5), dispatched to whichever worker is

@@ -85,6 +85,9 @@ std::string Configuration::validate() const {
     return bad("lb_period", lb_period,
                "must be >= 0 (0 disables rebalancing)");
   }
+  if (auto err = fault.validate(); !err.empty()) {
+    return "Configuration.fault." + err;
+  }
   return {};
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "decomp/decomposition.hpp"
+#include "rts/fault.hpp"
 
 namespace paratreet {
 
@@ -72,6 +73,12 @@ struct Configuration {
   /// rebalances with `lb_scheme` after every lb_period-th traversal.
   int lb_period = 0;
   LbScheme lb_scheme = LbScheme::kSfc;
+
+  // --- resilience (README "Resilience") ------------------------------------
+  /// Seeded fault schedule + reliable-delivery / watchdog knobs. Disabled
+  /// by default; Driver::run() applies it to the Runtime via
+  /// configureFaults() when enabled (or when a drain deadline is set).
+  rts::FaultConfig fault{};
 
   /// Bits per tree level implied by tree_type (3 for octrees, 1 for the
   /// binary trees).

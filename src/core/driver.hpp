@@ -48,6 +48,10 @@ class Driver {
       throw std::invalid_argument(err);
     }
     if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
+    if (instr.trace != nullptr) rt.attachTrace(instr.trace);
+    if (conf.fault.enabled || conf.fault.drain_deadline_ms > 0.0) {
+      rt.configureFaults(conf.fault);
+    }
     if (particles.empty() && !conf.input_file.empty()) {
       particles = makeParticles(loadSnapshot(conf.input_file));
     }
@@ -74,6 +78,7 @@ class Driver {
       if (iter + 1 < conf.num_iterations) forest_->flush();
     }
     if (instr.metrics != nullptr) rt.attachMetrics(nullptr);
+    if (instr.trace != nullptr) rt.attachTrace(nullptr);
   }
 
   /// Transitional overload for the pre-Instrumentation API; wraps the

@@ -180,6 +180,10 @@ class Forest {
     copts.model = conf_.cache_model;
     copts.fetch_depth = conf_.fetch_depth;
     copts.bits_per_level = conf_.bitsPerLevel();
+    // Retry budget for injected fetch failures comes from the runtime's
+    // active fault schedule (the injector itself is read live, so faults
+    // configured after build() still apply to traversal fills).
+    copts.max_fetch_retries = rt_.faultConfig().max_fetch_retries;
     copts.instr = instr_;
     for (int p = 0; p < rt_.numProcs(); ++p) {
       caches_[static_cast<std::size_t>(p)].init(&rt_, p, copts, &caches_);

@@ -1,0 +1,248 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace paratreet::rts {
+
+/// The kinds of injectable faults. The first four are message (transport)
+/// faults consulted on every cross-process send; kFetchFail models a home
+/// process failing to produce a cache-fill payload (remote OOM / IO
+/// error); kStall models a worker losing the CPU for a while (OS jitter,
+/// page fault storm). DESIGN.md maps each kind to the real MPI/UCX
+/// failure mode it stands in for.
+enum class FaultKind : int {
+  kDrop = 0,   ///< message copy lost in the network
+  kDuplicate,  ///< message copy delivered twice
+  kDelay,      ///< message copy delivered late
+  kReorder,    ///< message copy overtaken by later traffic (extra skew)
+  kFetchFail,  ///< home process fails to serve a cache-fill payload
+  kStall,      ///< worker stalls for stall_us before its next task
+};
+inline constexpr std::size_t kNumFaultKinds = 6;
+inline constexpr std::array<const char*, kNumFaultKinds> kFaultKindNames = {
+    "drop", "duplicate", "delay", "reorder", "fetch_fail", "stall"};
+
+/// Seeded fault schedule + resilience knobs. Everything is off by
+/// default: with `enabled == false` the runtime's send/dispatch paths are
+/// bit-for-bit the fault-free ones (no injector, no reliable-delivery
+/// layer, no extra atomics).
+struct FaultConfig {
+  /// Master switch; nothing below matters while false (except the drain
+  /// watchdog, which only needs drain_deadline_ms > 0).
+  bool enabled = false;
+  /// Seed of the deterministic fault schedule: every decision is a pure
+  /// function of (seed, message seq, attempt), so the same seed injects
+  /// the same fault counts run after run.
+  std::uint64_t seed = 0;
+
+  // --- per-event probabilities (all in [0, 1]) -----------------------------
+  double drop_p = 0.0;
+  double duplicate_p = 0.0;
+  double delay_p = 0.0;
+  double reorder_p = 0.0;
+  double fetch_fail_p = 0.0;
+  double stall_p = 0.0;
+
+  // --- fault magnitudes ----------------------------------------------------
+  double delay_min_us = 50.0;      ///< injected delay lower bound
+  double delay_max_us = 500.0;     ///< injected delay upper bound
+  double reorder_window_us = 100.0;  ///< extra skew when reordered
+  double stall_us = 200.0;           ///< worker stall length
+
+  // --- reliable-delivery knobs --------------------------------------------
+  /// Retransmissions per message before it is declared undeliverable
+  /// (the sender gives up; rts.undeliverable counts it).
+  int max_transport_retries = 25;
+  /// First ack-timeout; doubles each attempt up to the cap.
+  double retry_backoff_us = 1000.0;
+  double retry_backoff_cap_us = 8000.0;
+  /// Failed cache fills re-requested this many times before the cache
+  /// degrades to a synchronous direct read of the owning subtree.
+  int max_fetch_retries = 3;
+
+  // --- watchdog ------------------------------------------------------------
+  /// When > 0, Runtime::drain() throws QuiescenceTimeout with a full
+  /// diagnostic instead of waiting longer than this. Works even with
+  /// `enabled == false` (a watchdog is useful on healthy runs too).
+  double drain_deadline_ms = 0.0;
+
+  /// Any transport fault configured? Gates the reliable-delivery layer:
+  /// without message faults, raw sends already deliver exactly once.
+  bool anyMessageFaults() const {
+    return drop_p > 0.0 || duplicate_p > 0.0 || delay_p > 0.0 ||
+           reorder_p > 0.0;
+  }
+  /// Any fault at all configured (gates the injector)?
+  bool injecting() const {
+    return enabled && (anyMessageFaults() || fetch_fail_p > 0.0 ||
+                       stall_p > 0.0);
+  }
+
+  /// Empty when valid, else a message naming the offending field.
+  std::string validate() const {
+    const auto badP = [](const char* field, double v) {
+      return std::string(field) + " = " + std::to_string(v) +
+             ": probabilities must lie in [0, 1]";
+    };
+    const struct { const char* name; double v; } probs[] = {
+        {"drop_p", drop_p},           {"duplicate_p", duplicate_p},
+        {"delay_p", delay_p},         {"reorder_p", reorder_p},
+        {"fetch_fail_p", fetch_fail_p}, {"stall_p", stall_p}};
+    for (const auto& p : probs) {
+      if (p.v < 0.0 || p.v > 1.0) return badP(p.name, p.v);
+    }
+    if (delay_min_us < 0.0 || delay_max_us < delay_min_us) {
+      return "delay bounds [" + std::to_string(delay_min_us) + ", " +
+             std::to_string(delay_max_us) + "] must satisfy 0 <= min <= max";
+    }
+    if (reorder_window_us < 0.0) return "reorder_window_us must be >= 0";
+    if (stall_us < 0.0) return "stall_us must be >= 0";
+    if (max_transport_retries < 0) return "max_transport_retries must be >= 0";
+    if (retry_backoff_us <= 0.0 || retry_backoff_cap_us < retry_backoff_us) {
+      return "retry backoff must satisfy 0 < retry_backoff_us <= "
+             "retry_backoff_cap_us";
+    }
+    if (max_fetch_retries < 0) return "max_fetch_retries must be >= 0";
+    if (drain_deadline_ms < 0.0) return "drain_deadline_ms must be >= 0";
+    return {};
+  }
+};
+
+/// Thrown by Runtime::drain() when the watchdog deadline expires; what()
+/// carries the quiescence diagnostic (per-proc queue depths, in-flight
+/// reliable messages, per-worker last-task ages, injected-fault counts).
+class QuiescenceTimeout : public std::runtime_error {
+ public:
+  explicit QuiescenceTimeout(const std::string& diagnostic)
+      : std::runtime_error(diagnostic) {}
+};
+
+/// What the injector tells the transport to do with one message copy.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool delayed = false;             ///< a delay fault fired
+  bool reordered = false;           ///< a reorder fault fired
+  double delay_us = 0.0;            ///< extra delivery delay (delay/reorder)
+  double duplicate_skew_us = 0.0;   ///< additional skew on the dup copy
+};
+
+/// Deterministic, seeded fault schedule. Decisions are pure functions of
+/// (seed, id, attempt) — no mutable RNG state — so they are independent
+/// of thread interleaving: two runs with the same seed and the same
+/// per-id attempt counts inject exactly the same faults. Counts are kept
+/// in relaxed atomics, readable any time.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Transport decision for attempt `attempt` (0-based) of message `seq`.
+  FaultDecision onMessage(std::uint64_t seq, std::uint32_t attempt) {
+    FaultDecision d;
+    if (u01(seq, attempt, 0x517cc1b727220a95ull) < cfg_.drop_p) {
+      d.drop = true;
+      bump(FaultKind::kDrop);
+      return d;  // a dropped copy has no further fate
+    }
+    if (u01(seq, attempt, 0x6c62272e07bb0142ull) < cfg_.duplicate_p) {
+      d.duplicate = true;
+      d.duplicate_skew_us = 0.5 * cfg_.reorder_window_us +
+                            1.0;  // dup trails the original slightly
+      bump(FaultKind::kDuplicate);
+    }
+    if (u01(seq, attempt, 0xd6e8feb86659fd93ull) < cfg_.delay_p) {
+      d.delayed = true;
+      d.delay_us += cfg_.delay_min_us +
+                    u01(seq, attempt, 0xa0761d6478bd642full) *
+                        (cfg_.delay_max_us - cfg_.delay_min_us);
+      bump(FaultKind::kDelay);
+    }
+    if (u01(seq, attempt, 0xe7037ed1a0b428dbull) < cfg_.reorder_p) {
+      d.reordered = true;
+      d.delay_us += u01(seq, attempt, 0x8ebc6af09c88c6e3ull) *
+                    cfg_.reorder_window_us;
+      bump(FaultKind::kReorder);
+    }
+    return d;
+  }
+
+  /// Should serve attempt `attempt` of logical fetch `fetch_id` fail?
+  bool onFetch(std::uint64_t fetch_id, std::uint32_t attempt) {
+    if (cfg_.fetch_fail_p <= 0.0) return false;
+    if (u01(fetch_id, attempt, 0x589965cc75374cc3ull) >= cfg_.fetch_fail_p) {
+      return false;
+    }
+    bump(FaultKind::kFetchFail);
+    return true;
+  }
+
+  /// Consult before dispatching a task; true means the worker should
+  /// stall for `stall_us` first. Draws from its own ticket stream.
+  bool onDispatch(double& stall_us) {
+    if (cfg_.stall_p <= 0.0) return false;
+    const std::uint64_t t =
+        stall_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (u01(t, 0, 0x1d8e4e27c47d124full) >= cfg_.stall_p) return false;
+    stall_us = cfg_.stall_us;
+    bump(FaultKind::kStall);
+    return true;
+  }
+
+  /// Stable id for one logical cache fetch (spans its retries).
+  std::uint64_t nextFetchId() {
+    return fetch_ids_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count(FaultKind k) const {
+    return counts_[static_cast<std::size_t>(k)].load(
+        std::memory_order_relaxed);
+  }
+  std::array<std::uint64_t, kNumFaultKinds> counts() const {
+    std::array<std::uint64_t, kNumFaultKinds> out{};
+    for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+      out[i] = counts_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+  std::uint64_t totalInjected() const {
+    std::uint64_t total = 0;
+    for (const auto c : counts()) total += c;
+    return total;
+  }
+
+ private:
+  static std::uint64_t splitmix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  /// Uniform in [0, 1) derived from (seed, id, attempt, salt).
+  double u01(std::uint64_t id, std::uint32_t attempt,
+             std::uint64_t salt) const {
+    std::uint64_t h = splitmix(cfg_.seed ^ salt);
+    h = splitmix(h ^ (id * 0x2545f4914f6cdd1dull));
+    h = splitmix(h ^ (static_cast<std::uint64_t>(attempt) *
+                      0x9e3779b97f4a7c15ull));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  void bump(FaultKind k) {
+    counts_[static_cast<std::size_t>(k)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
+
+  FaultConfig cfg_;
+  std::atomic<std::uint64_t> fetch_ids_{0};
+  std::atomic<std::uint64_t> stall_ticket_{0};
+  std::array<std::atomic<std::uint64_t>, kNumFaultKinds> counts_{};
+};
+
+}  // namespace paratreet::rts

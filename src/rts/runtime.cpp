@@ -2,6 +2,10 @@
 
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "rts/reliable.hpp"
 
 namespace paratreet::rts {
 
@@ -13,12 +17,20 @@ thread_local int tls_worker = -1;
 int Runtime::currentProc() { return tls_proc; }
 int Runtime::currentWorker() { return tls_worker; }
 
-Runtime::Runtime(Config config) : config_(config) {
+Runtime::Runtime(Config config)
+    : config_(config), start_(std::chrono::steady_clock::now()) {
   assert(config_.n_procs > 0 && config_.workers_per_proc > 0);
   queues_.reserve(config_.n_procs);
   for (int p = 0; p < config_.n_procs; ++p) {
     queues_.push_back(std::make_unique<ProcQueue>());
   }
+  last_task_ns_ = std::make_unique<std::atomic<std::int64_t>[]>(
+      static_cast<std::size_t>(numWorkers()));
+  for (int i = 0; i < numWorkers(); ++i) {
+    last_task_ns_[static_cast<std::size_t>(i)].store(
+        -1, std::memory_order_relaxed);
+  }
+  configureFaults(config_.fault);
   threads_.reserve(static_cast<std::size_t>(numWorkers()));
   for (int p = 0; p < config_.n_procs; ++p) {
     for (int w = 0; w < config_.workers_per_proc; ++w) {
@@ -28,13 +40,41 @@ Runtime::Runtime(Config config) : config_(config) {
 }
 
 Runtime::~Runtime() {
-  drain();
+  // Stop retransmit chains and drain without the watchdog: a destructor
+  // must neither hang on an injected 100%-loss schedule nor throw.
+  if (auto* rel = reliable_ptr_.load(std::memory_order_acquire)) {
+    rel->abandonAll();
+  }
+  drainImpl(/*allow_watchdog=*/false);
   shutdown_.store(true, std::memory_order_release);
   for (auto& q : queues_) {
     std::lock_guard lock(q->mutex);
     q->cv.notify_all();
   }
   for (auto& t : threads_) t.join();
+}
+
+void Runtime::configureFaults(const FaultConfig& fault) {
+  if (const std::string err = fault.validate(); !err.empty()) {
+    throw std::invalid_argument("FaultConfig." + err);
+  }
+  // Tear down in publish-reverse order; callers hold the quiescence
+  // contract, so no worker is reading the old pointers.
+  reliable_ptr_.store(nullptr, std::memory_order_release);
+  injector_ptr_.store(nullptr, std::memory_order_release);
+  reliable_.reset();
+  injector_.reset();
+  config_.fault = fault;
+  if (fault.injecting()) {
+    injector_ = std::make_unique<FaultInjector>(fault);
+    injector_ptr_.store(injector_.get(), std::memory_order_release);
+    if (fault.anyMessageFaults()) {
+      reliable_ = std::make_unique<ReliableLayer>(*this, *injector_);
+      reliable_ptr_.store(reliable_.get(), std::memory_order_release);
+    }
+  }
+  track_liveness_.store(fault.drain_deadline_ms > 0.0,
+                        std::memory_order_release);
 }
 
 void Runtime::attachMetrics(obs::MetricsRegistry* registry) {
@@ -48,6 +88,15 @@ void Runtime::attachMetrics(obs::MetricsRegistry* registry) {
   m->message_bytes = &registry->counter("rts.message_bytes");
   m->queue_depth = &registry->histogram(
       "rts.queue_depth", obs::exponentialBounds(1.0, 2.0, 12));
+  // Resilience counters are registered unconditionally so fault-free
+  // reports still show them — pinned at zero.
+  m->retries = &registry->counter("rts.retries");
+  m->undeliverable = &registry->counter("rts.undeliverable");
+  m->dup_suppressed = &registry->counter("rts.dup_suppressed");
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    m->faults_injected[k] = &registry->counter(
+        std::string("rts.faults_injected.") + kFaultKindNames[k]);
+  }
   m->busy_ns.reserve(static_cast<std::size_t>(numWorkers()));
   m->idle_ns.reserve(static_cast<std::size_t>(numWorkers()));
   for (int p = 0; p < config_.n_procs; ++p) {
@@ -62,8 +111,27 @@ void Runtime::attachMetrics(obs::MetricsRegistry* registry) {
   metrics_.store(metrics_storage_.get(), std::memory_order_release);
 }
 
+void Runtime::attachTrace(obs::TraceBuffer* trace) {
+  trace_.store(trace, std::memory_order_release);
+}
+
+void Runtime::noteFault(FaultKind kind) {
+  if (auto* m = metrics_.load(std::memory_order_acquire)) {
+    m->faults_injected[static_cast<std::size_t>(kind)]->add(1);
+  }
+}
+
+void Runtime::checkRank(const char* where, const char* which,
+                        int rank) const {
+  if (rank < 0 || rank >= config_.n_procs) {
+    throw std::out_of_range(std::string(where) + ": " + which + " rank " +
+                            std::to_string(rank) + " outside [0, " +
+                            std::to_string(config_.n_procs) + ")");
+  }
+}
+
 void Runtime::enqueue(int proc, Task task) {
-  assert(proc >= 0 && proc < config_.n_procs);
+  checkRank("Runtime::enqueue", "proc", proc);
   pending_.fetch_add(1, std::memory_order_relaxed);
   auto& q = *queues_[proc];
   std::size_t depth;
@@ -78,32 +146,49 @@ void Runtime::enqueue(int proc, Task task) {
   }
 }
 
+void Runtime::enqueueAfterUs(int proc, double delay_us, Task task) {
+  checkRank("Runtime::enqueueAfterUs", "proc", proc);
+  if (delay_us <= 0.0) {
+    enqueue(proc, std::move(task));
+    return;
+  }
+  const auto delay = std::chrono::duration<double, std::micro>(delay_us);
+  const auto ready =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(delay);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  auto& q = *queues_[proc];
+  {
+    std::lock_guard lock(q.mutex);
+    q.delayed.push(detail::DelayedTask{
+        ready, delay_seq_.fetch_add(1, std::memory_order_relaxed),
+        std::move(task)});
+  }
+  q.cv.notify_one();
+}
+
 void Runtime::send(int from, int to, std::size_t bytes, Task on_receive) {
-  assert(to >= 0 && to < config_.n_procs);
-  (void)from;
+  checkRank("Runtime::send", "source", from);
+  checkRank("Runtime::send", "destination", to);
   msg_count_.fetch_add(1, std::memory_order_relaxed);
   msg_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (auto* m = metrics_.load(std::memory_order_acquire)) {
     m->messages->add(1);
     m->message_bytes->add(bytes);
   }
-  if (!config_.comm.enabled() || from == to) {
+  if (from == to) {  // local delivery: nothing to lose on the wire
     enqueue(to, std::move(on_receive));
     return;
   }
-  const auto delay =
-      std::chrono::duration<double, std::micro>(config_.comm.costUs(bytes));
-  const auto ready = std::chrono::steady_clock::now() +
-                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(delay);
-  pending_.fetch_add(1, std::memory_order_relaxed);
-  auto& q = *queues_[to];
-  {
-    std::lock_guard lock(q.mutex);
-    q.delayed.push(DelayedTask{
-        ready, delay_seq_.fetch_add(1, std::memory_order_relaxed),
-        std::move(on_receive)});
+  if (auto* rel = reliable_ptr_.load(std::memory_order_acquire)) {
+    rel->send(from, to, bytes, std::move(on_receive));
+    return;
   }
-  q.cv.notify_one();
+  if (!config_.comm.enabled()) {
+    enqueue(to, std::move(on_receive));
+    return;
+  }
+  enqueueAfterUs(to, config_.comm.costUs(bytes), std::move(on_receive));
 }
 
 void Runtime::broadcast(std::function<void(int)> fn) {
@@ -119,11 +204,77 @@ void Runtime::finishTask() {
   }
 }
 
-void Runtime::drain() {
-  std::unique_lock lock(drain_mutex_);
-  drain_cv_.wait(lock, [this] {
+void Runtime::drain() { drainImpl(/*allow_watchdog=*/true); }
+
+void Runtime::drainImpl(bool allow_watchdog) {
+  const auto quiescent = [this] {
     return pending_.load(std::memory_order_acquire) == 0;
-  });
+  };
+  std::unique_lock lock(drain_mutex_);
+  const double deadline_ms = config_.fault.drain_deadline_ms;
+  if (!allow_watchdog || deadline_ms <= 0.0) {
+    drain_cv_.wait(lock, quiescent);
+    return;
+  }
+  if (!drain_cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(deadline_ms),
+          quiescent)) {
+    lock.unlock();
+    throw QuiescenceTimeout(quiescenceDiagnostic());
+  }
+}
+
+std::string Runtime::quiescenceDiagnostic() {
+  const auto now = std::chrono::steady_clock::now();
+  std::string out = "Runtime::drain() watchdog: no quiescence within " +
+                    std::to_string(config_.fault.drain_deadline_ms) +
+                    " ms; " +
+                    std::to_string(pending_.load(std::memory_order_acquire)) +
+                    " task(s)/message(s) pending\n";
+  out += "per-proc queues (ready/delayed):\n";
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    auto& q = *queues_[p];
+    std::lock_guard lock(q.mutex);
+    out += "  proc " + std::to_string(p) + ": ready=" +
+           std::to_string(q.ready.size()) + " delayed=" +
+           std::to_string(q.delayed.size()) + "\n";
+  }
+  if (auto* rel = reliable_ptr_.load(std::memory_order_acquire)) {
+    out += "in-flight reliable messages: " +
+           std::to_string(rel->inflight()) + " (retries=" +
+           std::to_string(rel->retries()) + ", undeliverable=" +
+           std::to_string(rel->undeliverable()) + ")\n";
+    out += rel->describeInflight();
+  }
+  if (auto* inj = injector_ptr_.load(std::memory_order_acquire)) {
+    out += "injected faults:";
+    const auto counts = inj->counts();
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+      out += std::string(" ") + kFaultKindNames[k] + "=" +
+             std::to_string(counts[k]);
+    }
+    out += "\n";
+  }
+  out += "per-worker last-task age:\n";
+  for (int p = 0; p < config_.n_procs; ++p) {
+    for (int w = 0; w < config_.workers_per_proc; ++w) {
+      const auto slot =
+          static_cast<std::size_t>(p * config_.workers_per_proc + w);
+      const std::int64_t stamp =
+          last_task_ns_[slot].load(std::memory_order_relaxed);
+      out += "  p" + std::to_string(p) + ".w" + std::to_string(w) + ": ";
+      if (stamp < 0) {
+        out += "no task yet\n";
+      } else {
+        const auto age_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+                .count() -
+            stamp;
+        out += std::to_string(static_cast<double>(age_ns) / 1e6) + " ms ago\n";
+      }
+    }
+  }
+  return out;
 }
 
 CommStats Runtime::stats() const {
@@ -154,6 +305,14 @@ void Runtime::workerLoop(int proc, int worker) {
       Task task = std::move(q.ready.front());
       q.ready.pop_front();
       lock.unlock();
+      if (auto* inj = injector_ptr_.load(std::memory_order_acquire)) {
+        double stall_us = 0.0;
+        if (inj->onDispatch(stall_us)) {
+          noteFault(FaultKind::kStall);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::micro>(stall_us));
+        }
+      }
       auto* m = metrics_.load(std::memory_order_acquire);
       const auto t0 = m != nullptr ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
@@ -165,6 +324,13 @@ void Runtime::workerLoop(int proc, int worker) {
         m->busy_ns[slot]->add(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(busy)
                 .count()));
+      }
+      if (track_liveness_.load(std::memory_order_acquire)) {
+        last_task_ns_[slot].store(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count(),
+            std::memory_order_relaxed);
       }
       finishTask();
       lock.lock();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -13,6 +14,8 @@
 #include <vector>
 
 #include "observability/metrics.hpp"
+#include "observability/trace.hpp"
+#include "rts/fault.hpp"
 
 namespace paratreet::rts {
 
@@ -41,6 +44,25 @@ struct CommStats {
   std::uint64_t bytes = 0;
 };
 
+namespace detail {
+
+/// A task waiting for its modeled delivery time in a per-proc
+/// priority_queue.
+struct DelayedTask {
+  std::chrono::steady_clock::time_point ready;
+  // Order-of-insertion tiebreak keeps delivery FIFO per ready-time.
+  std::uint64_t seq;
+  mutable Task task;  // mutable: priority_queue::top() is const
+  bool operator<(const DelayedTask& o) const {
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    return ready != o.ready ? ready > o.ready : seq > o.seq;
+  }
+};
+
+}  // namespace detail
+
+class ReliableLayer;
+
 /// The runtime substrate standing in for Charm++: a fixed set of logical
 /// processes (ranks), each served by a fixed set of worker threads.
 ///
@@ -53,12 +75,21 @@ struct CommStats {
 /// The orchestrating (main) thread is *not* a worker: it configures a
 /// phase, enqueues seed tasks, and calls drain() to wait for quiescence
 /// (no task running, no task queued, no message in flight).
+///
+/// With a FaultConfig supplied (Config::fault or configureFaults()), every
+/// cross-process send consults a deterministic FaultInjector and — when
+/// transport faults are configured — routes through a ReliableLayer
+/// (sequence numbers, receiver-side dedup, ack + backoff retransmit), so
+/// payloads still run exactly once. drain() then enforces the watchdog
+/// deadline and throws QuiescenceTimeout with a diagnostic instead of
+/// hanging.
 class Runtime {
  public:
   struct Config {
     int n_procs = 1;
     int workers_per_proc = 1;
     CommModel comm{};
+    FaultConfig fault{};
   };
 
   explicit Runtime(Config config);
@@ -69,31 +100,80 @@ class Runtime {
   int numProcs() const { return config_.n_procs; }
   int workersPerProc() const { return config_.workers_per_proc; }
   int numWorkers() const { return config_.n_procs * config_.workers_per_proc; }
+  const Config& config() const { return config_; }
 
   /// Enqueue a local task on process `proc` (no communication cost).
+  /// Throws std::out_of_range when `proc` is not a valid rank.
   void enqueue(int proc, Task task);
+
+  /// Enqueue on `proc` after `delay_us` microseconds (<= 0 enqueues now).
+  /// Delayed tasks count toward quiescence: drain() waits them out.
+  void enqueueAfterUs(int proc, double delay_us, Task task);
 
   /// Send a message of `bytes` payload from process `from` to `to`;
   /// `on_receive` runs on one of `to`'s workers after the modeled delay.
+  /// Throws std::out_of_range when either rank is invalid.
   void send(int from, int to, std::size_t bytes, Task on_receive);
 
   /// Run `fn(proc)` once on every process, then return immediately.
   void broadcast(std::function<void(int)> fn);
 
   /// Block the calling (non-worker) thread until the system is quiescent.
+  /// When the active FaultConfig sets drain_deadline_ms > 0 and the
+  /// deadline expires first, throws QuiescenceTimeout carrying the
+  /// quiescence diagnostic instead of waiting forever.
   void drain();
 
   /// Communication counters accumulated since the last resetStats().
+  /// Messages are counted once per logical send(); reliable-layer
+  /// retransmissions and injected duplicates show up in rts.retries /
+  /// rts.faults_injected.* instead.
   CommStats stats() const;
   void resetStats();
 
+  /// (Re)apply a fault schedule. Must be called while quiescent (after
+  /// drain(), no tasks queued). Replaces the injector and the reliable
+  /// layer; a config with `injecting() == false` tears both down, making
+  /// send() the raw fault-free path again. Useful to build a forest
+  /// fault-free and then torture only the traversal.
+  void configureFaults(const FaultConfig& fault);
+
+  /// Active injector, or nullptr when no faults are configured.
+  FaultInjector* faultInjector() const {
+    return injector_ptr_.load(std::memory_order_acquire);
+  }
+  const FaultConfig& faultConfig() const { return config_.fault; }
+  /// Reliable-delivery layer, or nullptr when no transport faults.
+  const ReliableLayer* reliableLayer() const {
+    return reliable_ptr_.load(std::memory_order_acquire);
+  }
+
+  /// Mirror an injected fault into the attached metrics registry
+  /// (rts.faults_injected.<kind>); no-op when detached. The injector
+  /// keeps its own authoritative counts.
+  void noteFault(FaultKind kind);
+
   /// Attach a metrics registry: the runtime registers its scheduler
   /// instruments (task/message counters, per-worker busy/idle time,
-  /// ready-queue depth histogram) and records into them until detached
-  /// with attachMetrics(nullptr). Call only while quiescent (no tasks
-  /// running or queued); the hot-path cost when attached is a relaxed
-  /// atomic add per event, and a single atomic load when detached.
+  /// ready-queue depth histogram, retry/fault counters) and records into
+  /// them until detached with attachMetrics(nullptr). Call only while
+  /// quiescent (no tasks running or queued); the hot-path cost when
+  /// attached is a relaxed atomic add per event, and a single atomic load
+  /// when detached.
   void attachMetrics(obs::MetricsRegistry* registry);
+
+  /// Attach a trace buffer: fault, retransmit and watchdog events are
+  /// recorded as zero-length spans (category "fault"). Same quiescence
+  /// contract as attachMetrics().
+  void attachTrace(obs::TraceBuffer* trace);
+  obs::TraceBuffer* traceBuffer() const {
+    return trace_.load(std::memory_order_acquire);
+  }
+
+  /// The quiescence diagnostic the watchdog throws: pending count,
+  /// per-proc ready/delayed queue depths, in-flight reliable messages,
+  /// injected-fault counts, and per-worker last-task age.
+  std::string quiescenceDiagnostic();
 
   /// Logical process of the calling worker thread, or -1 off-worker.
   static int currentProc();
@@ -101,26 +181,19 @@ class Runtime {
   static int currentWorker();
 
  private:
-  struct DelayedTask {
-    std::chrono::steady_clock::time_point ready;
-    // Order-of-insertion tiebreak keeps delivery FIFO per ready-time.
-    std::uint64_t seq;
-    mutable Task task;  // mutable: priority_queue::top() is const
-    bool operator<(const DelayedTask& o) const {
-      // std::priority_queue is a max-heap; invert for earliest-first.
-      return ready != o.ready ? ready > o.ready : seq > o.seq;
-    }
-  };
+  friend class ReliableLayer;
 
   struct ProcQueue {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<Task> ready;
-    std::priority_queue<DelayedTask> delayed;
+    std::priority_queue<detail::DelayedTask> delayed;
   };
 
   void workerLoop(int proc, int worker);
   void finishTask();
+  void checkRank(const char* where, const char* which, int rank) const;
+  void drainImpl(bool allow_watchdog);
 
   /// Pre-registered scheduler instruments (see attachMetrics).
   struct SchedulerMetrics {
@@ -128,6 +201,10 @@ class Runtime {
     obs::Counter* messages = nullptr;
     obs::Counter* message_bytes = nullptr;
     obs::Histogram* queue_depth = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* undeliverable = nullptr;
+    obs::Counter* dup_suppressed = nullptr;
+    std::array<obs::Counter*, kNumFaultKinds> faults_injected{};
     /// Indexed by global worker (proc * workers_per_proc + worker).
     std::vector<obs::Counter*> busy_ns;
     std::vector<obs::Counter*> idle_ns;
@@ -148,6 +225,20 @@ class Runtime {
 
   std::unique_ptr<SchedulerMetrics> metrics_storage_;
   std::atomic<SchedulerMetrics*> metrics_{nullptr};
+  std::atomic<obs::TraceBuffer*> trace_{nullptr};
+
+  // Fault machinery. Storage is swapped only while quiescent
+  // (configureFaults); workers read through the atomic mirrors.
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<ReliableLayer> reliable_;
+  std::atomic<FaultInjector*> injector_ptr_{nullptr};
+  std::atomic<ReliableLayer*> reliable_ptr_{nullptr};
+
+  // Per-worker liveness stamps (ns since start_), -1 before the first
+  // task; only maintained while the watchdog is armed.
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<bool> track_liveness_{false};
+  std::unique_ptr<std::atomic<std::int64_t>[]> last_task_ns_;
 };
 
 }  // namespace paratreet::rts

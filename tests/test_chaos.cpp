@@ -1,0 +1,297 @@
+// Chaos suite: gravity traversals under injected transport/fetch faults
+// must produce *identical physics* to the fault-free run, the fault
+// schedule must be deterministic per seed, and a genuinely dead network
+// must become a thrown watchdog diagnostic instead of a hang.
+//
+// The gravity setup is chosen so the result is bitwise-reproducible, not
+// just tolerance-equal: a binary kd-tree with exactly two Subtrees on
+// 2 procs x 1 worker, and a fetch_depth that ships a whole remote subtree
+// in one fill. Each Partition then pauses at most once (on the single
+// remote-subtree placeholder) and every bucket accumulates its sources in
+// one deterministic order, no matter how fault injection reshuffles
+// message timing. PARATREET_CHAOS_SEED overrides the schedule seed (the
+// CI chaos job sweeps several).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/gravity/gravity.hpp"
+#include "core/forest.hpp"
+#include "observability/report.hpp"
+#include "rts/reliable.hpp"
+
+namespace paratreet {
+namespace {
+
+std::uint64_t chaosSeed() {
+  if (const char* env = std::getenv("PARATREET_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260806ull;
+}
+
+Configuration bitwiseConfig() {
+  Configuration conf;
+  conf.tree_type = TreeType::eKd;
+  conf.decomp_type = DecompType::eKd;
+  conf.min_subtrees = 2;  // one Subtree per proc: a single remote region
+  conf.min_partitions = 4;
+  conf.bucket_size = 16;
+  conf.fetch_depth = 32;  // one fill ships the entire remote subtree
+  return conf;
+}
+
+/// A seeded mixed schedule of drops, duplicates and delays (the transport
+/// faults that preserve liveness under reliable delivery).
+rts::FaultConfig mixedSchedule(std::uint64_t seed) {
+  rts::FaultConfig f;
+  f.enabled = true;
+  f.seed = seed;
+  f.drop_p = 0.25;
+  f.duplicate_p = 0.2;
+  f.delay_p = 0.3;
+  f.delay_min_us = 20.0;
+  f.delay_max_us = 300.0;
+  f.reorder_p = 0.15;
+  f.drain_deadline_ms = 60000.0;  // a hang should fail fast, not time out CI
+  return f;
+}
+
+struct ChaosRun {
+  std::vector<Particle> particles;
+  std::array<std::uint64_t, rts::kNumFaultKinds> fault_counts{};
+  typename CacheManager<CentroidData>::StatsSnapshot cache;
+  std::uint64_t retries = 0;
+  std::uint64_t dup_suppressed = 0;
+};
+
+ChaosRun runGravity(const rts::FaultConfig& fault,
+                    Instrumentation instr = {}) {
+  rts::Runtime::Config rc;
+  rc.n_procs = 2;
+  rc.workers_per_proc = 1;
+  rc.fault = fault;
+  rts::Runtime rt(rc);
+  if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
+  if (instr.trace != nullptr) rt.attachTrace(instr.trace);
+  ChaosRun out;
+  {
+    Forest<CentroidData, KdTreeType> forest(rt, bitwiseConfig(), instr);
+    forest.load(makeParticles(uniformCube(600, 77)));
+    forest.decompose();
+    forest.build();
+    forest.traverse<GravityVisitor>(GravityVisitor{});
+    out.particles = forest.collect();
+    out.cache = forest.cacheStatsTotal();
+  }
+  if (auto* inj = rt.faultInjector()) out.fault_counts = inj->counts();
+  if (auto* rel = rt.reliableLayer()) {
+    out.retries = rel->retries();
+    out.dup_suppressed = rel->duplicatesSuppressed();
+  }
+  if (instr.metrics != nullptr) rt.attachMetrics(nullptr);
+  if (instr.trace != nullptr) rt.attachTrace(nullptr);
+  return out;
+}
+
+void expectBitwiseEqual(const std::vector<Particle>& a,
+                        const std::vector<Particle>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&a[i].acceleration, &b[i].acceleration,
+                             sizeof(a[i].acceleration)))
+        << "acceleration of particle " << i << " differs: ("
+        << a[i].acceleration.x << "," << a[i].acceleration.y << ","
+        << a[i].acceleration.z << ") vs (" << b[i].acceleration.x << ","
+        << b[i].acceleration.y << "," << b[i].acceleration.z << ")";
+    EXPECT_EQ(0, std::memcmp(&a[i].potential, &b[i].potential,
+                             sizeof(a[i].potential)))
+        << "potential of particle " << i;
+  }
+}
+
+TEST(Chaos, BitwiseIdenticalPhysicsUnderTransportFaults) {
+  const ChaosRun clean = runGravity(rts::FaultConfig{});
+  const ChaosRun faulty = runGravity(mixedSchedule(chaosSeed()));
+  // The schedule must actually have injected something, and the reliable
+  // layer must have had work to do.
+  std::uint64_t injected = 0;
+  for (const auto c : faulty.fault_counts) injected += c;
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(faulty.fault_counts[static_cast<std::size_t>(
+                rts::FaultKind::kDrop)],
+            0u);
+  EXPECT_GT(faulty.retries, 0u);
+  expectBitwiseEqual(clean.particles, faulty.particles);
+}
+
+TEST(Chaos, SameSeedInjectsSameFaultCounts) {
+  // Drops + duplicates only, with a long ack timeout: no injected delay
+  // ever outlives the backoff, so the (seq, attempt) decision streams —
+  // and with them the injected-fault counts — are identical run to run.
+  rts::FaultConfig f;
+  f.enabled = true;
+  f.seed = chaosSeed();
+  f.drop_p = 0.3;
+  f.duplicate_p = 0.25;
+  f.retry_backoff_us = 20000.0;
+  f.retry_backoff_cap_us = 40000.0;
+  f.drain_deadline_ms = 60000.0;
+  const ChaosRun first = runGravity(f);
+  const ChaosRun second = runGravity(f);
+  EXPECT_EQ(first.fault_counts, second.fault_counts);
+  EXPECT_GT(first.fault_counts[static_cast<std::size_t>(
+                rts::FaultKind::kDrop)],
+            0u);
+  expectBitwiseEqual(first.particles, second.particles);
+}
+
+TEST(Chaos, WatchdogThrowsDiagnosticOnTotalLoss) {
+  rts::Runtime::Config rc;
+  rc.n_procs = 2;
+  rc.workers_per_proc = 1;
+  rts::Runtime rt(rc);
+  Forest<CentroidData, KdTreeType> forest(rt, bitwiseConfig());
+  forest.load(makeParticles(uniformCube(400, 7)));
+  forest.decompose();
+  forest.build();  // fault-free; then the network "dies"
+  rts::FaultConfig f;
+  f.enabled = true;
+  f.seed = chaosSeed();
+  f.drop_p = 1.0;
+  f.max_transport_retries = 1 << 30;  // never give up: a genuine hang
+  f.retry_backoff_us = 200.0;
+  f.retry_backoff_cap_us = 1000.0;
+  f.drain_deadline_ms = 250.0;
+  rt.configureFaults(f);
+  std::string diagnostic;
+  try {
+    forest.traverse<GravityVisitor>(GravityVisitor{});
+    FAIL() << "drain() returned despite a 100%-drop schedule";
+  } catch (const rts::QuiescenceTimeout& e) {
+    diagnostic = e.what();
+  }
+  EXPECT_NE(diagnostic.find("watchdog"), std::string::npos) << diagnostic;
+  EXPECT_NE(diagnostic.find("pending"), std::string::npos) << diagnostic;
+  EXPECT_NE(diagnostic.find("unacked"), std::string::npos) << diagnostic;
+  EXPECT_NE(diagnostic.find("drop="), std::string::npos) << diagnostic;
+  EXPECT_NE(diagnostic.find("last-task age"), std::string::npos) << diagnostic;
+}
+
+TEST(Chaos, FetchFailuresRetryThenDegrade) {
+  // Every serve attempt fails: each logical fill burns its whole retry
+  // budget and then falls back to a synchronous direct read — and the
+  // physics still matches the fault-free run bitwise.
+  rts::FaultConfig f;
+  f.enabled = true;
+  f.seed = chaosSeed();
+  f.fetch_fail_p = 1.0;
+  f.max_fetch_retries = 2;
+  f.drain_deadline_ms = 60000.0;
+  const ChaosRun clean = runGravity(rts::FaultConfig{});
+  const ChaosRun degraded = runGravity(f);
+  EXPECT_GT(degraded.cache.requests_sent, 0u);
+  EXPECT_EQ(degraded.cache.degraded_reads, degraded.cache.requests_sent);
+  EXPECT_EQ(degraded.cache.fetch_retries, 2 * degraded.cache.requests_sent);
+  EXPECT_GT(degraded.fault_counts[static_cast<std::size_t>(
+                rts::FaultKind::kFetchFail)],
+            0u);
+  expectBitwiseEqual(clean.particles, degraded.particles);
+}
+
+TEST(Chaos, ExactlyOnceDeliveryUnderChaos) {
+  rts::Runtime::Config rc;
+  rc.n_procs = 4;
+  rc.workers_per_proc = 2;
+  rc.fault = mixedSchedule(chaosSeed());
+  rc.fault.stall_p = 0.05;  // exercise dispatch stalls too
+  rc.fault.stall_us = 50.0;
+  rts::Runtime rt(rc);
+  std::atomic<int> delivered{0};
+  constexpr int kMessages = 400;
+  for (int i = 0; i < kMessages; ++i) {
+    rt.send(i % 4, (i + 1) % 4, 64,
+            [&delivered] { delivered.fetch_add(1, std::memory_order_relaxed); });
+  }
+  rt.drain();
+  EXPECT_EQ(delivered.load(), kMessages);
+  auto* rel = rt.reliableLayer();
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->inflight(), 0u);
+  auto* inj = rt.faultInjector();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_GT(inj->count(rts::FaultKind::kDrop), 0u);
+  EXPECT_GT(inj->count(rts::FaultKind::kDuplicate), 0u);
+  EXPECT_GT(rel->duplicatesSuppressed(), 0u);
+}
+
+TEST(Chaos, FaultCountersReachTheMetricsReport) {
+  Observability ob;
+  const ChaosRun faulty =
+      runGravity(mixedSchedule(chaosSeed()), ob.handle());
+  const std::string json = obs::Reporter(ob.handle()).toJson();
+  EXPECT_NE(json.find("\"schema\":\"paratreet.observability.v1\""),
+            std::string::npos);
+  const auto drops = faulty.fault_counts[static_cast<std::size_t>(
+      rts::FaultKind::kDrop)];
+  EXPECT_NE(json.find("\"rts.faults_injected.drop\":" +
+                      std::to_string(drops)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rts.retries\":" + std::to_string(faulty.retries)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rts.dup_suppressed\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.degraded_reads\":0"), std::string::npos);
+  // Fault events also land in the trace buffer as "fault"-category spans.
+  bool saw_fault_span = false;
+  for (const auto& ev : ob.handle().trace->snapshot()) {
+    if (std::string_view(ev.category) == "fault") saw_fault_span = true;
+  }
+  EXPECT_TRUE(saw_fault_span);
+}
+
+TEST(Chaos, ZeroFaultRunsShowZeroedResilienceCounters) {
+  // The acceptance contract for overhead: with FaultConfig disabled the
+  // retry path is bypassed entirely (no injector, no reliable layer) and
+  // every resilience counter reports exactly zero.
+  Observability ob;
+  rts::Runtime::Config rc;
+  rc.n_procs = 2;
+  rc.workers_per_proc = 1;
+  rts::Runtime rt(rc);
+  rt.attachMetrics(ob.handle().metrics);
+  {
+    Forest<CentroidData, KdTreeType> forest(rt, bitwiseConfig(), ob.handle());
+    forest.load(makeParticles(uniformCube(600, 77)));
+    forest.decompose();
+    forest.build();
+    forest.traverse<GravityVisitor>(GravityVisitor{});
+    EXPECT_EQ(forest.cacheStatsTotal().degraded_reads, 0u);
+    EXPECT_EQ(forest.cacheStatsTotal().fetch_retries, 0u);
+  }
+  EXPECT_EQ(rt.faultInjector(), nullptr);
+  EXPECT_EQ(rt.reliableLayer(), nullptr);
+  rt.attachMetrics(nullptr);
+  const std::string json = obs::Reporter(ob.handle()).toJson();
+  EXPECT_NE(json.find("\"rts.retries\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rts.undeliverable\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"rts.dup_suppressed\":0"), std::string::npos);
+  for (const char* kind : rts::kFaultKindNames) {
+    EXPECT_NE(json.find("\"rts.faults_injected." + std::string(kind) +
+                        "\":0"),
+              std::string::npos)
+        << kind;
+  }
+  EXPECT_NE(json.find("\"cache.degraded_reads\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.fetch_retries\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paratreet

@@ -306,5 +306,94 @@ TEST(Runtime, ConcurrentSendsFromWorkers) {
   EXPECT_EQ(rt.stats().messages, 150u);
 }
 
+TEST(Runtime, EnqueueRejectsOutOfRangeProc) {
+  Runtime rt({2, 1});
+  EXPECT_THROW(rt.enqueue(2, [] {}), std::out_of_range);
+  EXPECT_THROW(rt.enqueue(-1, [] {}), std::out_of_range);
+  try {
+    rt.enqueue(7, [] {});
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    // The message must name the offending rank and the valid range.
+    EXPECT_NE(std::string(e.what()).find("rank 7"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("[0, 2)"), std::string::npos)
+        << e.what();
+  }
+  rt.drain();  // a rejected enqueue must not leak a pending count
+}
+
+TEST(Runtime, SendRejectsOutOfRangeRanks) {
+  Runtime rt({2, 1});
+  EXPECT_THROW(rt.send(0, 5, 8, [] {}), std::out_of_range);
+  EXPECT_THROW(rt.send(-3, 1, 8, [] {}), std::out_of_range);
+  EXPECT_EQ(rt.stats().messages, 0u);  // rejected sends are not counted
+  rt.drain();
+}
+
+TEST(DelayedTask, EqualReadyTimesBreakTiesFifo) {
+  // The comparator orders the delayed priority_queue earliest-first, and
+  // by insertion sequence when ready-times collide (FIFO delivery).
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::microseconds(50);
+  detail::DelayedTask early{t0, 7, nullptr};
+  detail::DelayedTask late{t1, 1, nullptr};
+  detail::DelayedTask first{t0, 2, nullptr};
+  // operator< is inverted for the max-heap: "less" = delivered later.
+  EXPECT_LT(late, early);            // later ready-time pops after
+  EXPECT_LT(early, first);           // same ready-time: higher seq pops after
+  EXPECT_FALSE(first < first);       // irreflexive
+
+  std::priority_queue<detail::DelayedTask> q;
+  std::vector<int> order;
+  for (int seq : {3, 1, 2}) {
+    q.push(detail::DelayedTask{t0, static_cast<std::uint64_t>(seq),
+                               [&order, seq] { order.push_back(seq); }});
+  }
+  q.push(detail::DelayedTask{t0 - std::chrono::microseconds(10), 9,
+                             [&order] { order.push_back(9); }});
+  while (!q.empty()) {
+    q.top().task();
+    q.pop();
+  }
+  EXPECT_EQ(order, (std::vector<int>{9, 1, 2, 3}));
+}
+
+TEST(CommModel, DelayedMessagesDeliverFifoAtEqualCost) {
+  // Same byte count => same modeled delay; delivery must preserve the
+  // send order even though it goes through the delayed queue.
+  Runtime::Config cfg;
+  cfg.n_procs = 2;
+  cfg.workers_per_proc = 1;
+  cfg.comm.latency_us = 200.0;
+  Runtime rt(cfg);
+  std::vector<int> order;
+  std::mutex mutex;
+  for (int i = 0; i < 32; ++i) {
+    rt.send(0, 1, 8, [i, &order, &mutex] {
+      std::lock_guard lock(mutex);
+      order.push_back(i);
+    });
+  }
+  rt.drain();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CommModel, DrainWaitsOutInFlightDelayedMessages) {
+  Runtime::Config cfg;
+  cfg.n_procs = 2;
+  cfg.workers_per_proc = 1;
+  cfg.comm.latency_us = 20000.0;  // 20 ms on the modeled wire
+  Runtime rt(cfg);
+  std::atomic<bool> arrived{false};
+  WallTimer timer;
+  rt.send(0, 1, 8, [&arrived] { arrived.store(true); });
+  rt.drain();
+  // drain() must block until the delayed message matured and ran.
+  EXPECT_TRUE(arrived.load());
+  EXPECT_GE(timer.seconds(), 0.018);
+}
+
 }  // namespace
 }  // namespace paratreet::rts
