@@ -1,0 +1,278 @@
+// Kernel microbench: particle-particle interaction throughput of the
+// batched SoA gravity kernel (EvalKernel::kBatched with the visitor's
+// leafBatch/nodeBatch hooks) against the per-pair visitor-callback path,
+// on the *same* recorded interaction lists. Also times one small
+// end-to-end gravity traversal per kernel for context. Results go to
+// BENCH_kernels.json (override with --out=<path>).
+//
+// Two list shapes are measured:
+//   direct_sum — opening angle ~0 opens everything, so every bucket's
+//                list is pure direct (pp) work: the headline SoA number;
+//   bh_theta07 — theta = 0.7 Barnes-Hut mix of node and leaf work.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/gravity/gravity.hpp"
+#include "bench_util.hpp"
+#include "core/batch_eval.hpp"
+#include "core/forest.hpp"
+#include "core/interaction_list.hpp"
+#include "tree/builder.hpp"
+#include "util/distributions.hpp"
+#include "util/timer.hpp"
+
+using namespace paratreet;
+
+namespace {
+
+const OrientedBox kUniverse{Vec3(0), Vec3(1)};
+
+/// Per-pair gravity with no batch hooks: BatchEvaluator falls back to
+/// replaying node()/leaf() in recorded order, which is exactly the inline
+/// visitor-callback code on the same input — the baseline side of the
+/// comparison.
+struct PairwiseGravityVisitor {
+  GravityParams params{};
+
+  bool open(const SpatialNode<CentroidData>& s,
+            SpatialNode<CentroidData>& t) const {
+    return GravityVisitor{params}.open(s, t);
+  }
+  void node(const SpatialNode<CentroidData>& s,
+            SpatialNode<CentroidData>& t) const {
+    GravityVisitor{params}.node(s, t);
+  }
+  void leaf(const SpatialNode<CentroidData>& s,
+            SpatialNode<CentroidData>& t) const {
+    GravityVisitor{params}.leaf(s, t);
+  }
+};
+
+struct ListSet {
+  std::vector<Node<CentroidData>*> buckets;
+  std::vector<InteractionList<CentroidData>> lists;
+  std::uint64_t pp = 0;  ///< particle-particle interactions recorded
+  std::uint64_t pn = 0;  ///< particle-node interactions recorded
+};
+
+void recordWalk(Node<CentroidData>* node, Node<CentroidData>* bucket,
+                const GravityVisitor& v, InteractionList<CentroidData>& list,
+                ListSet& set) {
+  if (node == nullptr || node->type == NodeType::kEmptyLeaf) return;
+  const auto src = SpatialNode<CentroidData>::of(*node);
+  SpatialNode<CentroidData> tgt(bucket->data, bucket->box, bucket->key,
+                                bucket->n_particles, bucket->particles);
+  if (!v.open(src, tgt)) {
+    list.addNode(*node);
+    set.pn += static_cast<std::uint64_t>(bucket->n_particles);
+    return;
+  }
+  if (node->leaf()) {
+    list.addLeaf(*node);
+    set.pp += static_cast<std::uint64_t>(node->n_particles) *
+              static_cast<std::uint64_t>(bucket->n_particles);
+    return;
+  }
+  for (int c = 0; c < node->n_children; ++c) {
+    recordWalk(node->child(c), bucket, v, list, set);
+  }
+}
+
+/// Build a local tree and record every bucket's interaction lists under
+/// the given opening angle.
+ListSet recordLists(std::vector<Particle>& ps, Node<CentroidData>* root,
+                    const GravityParams& params) {
+  ListSet set;
+  forEachLeaf(root, [&](Node<CentroidData>* l) {
+    if (l->type == NodeType::kLeaf) set.buckets.push_back(l);
+  });
+  set.lists.resize(set.buckets.size());
+  const GravityVisitor v{params};
+  for (std::size_t b = 0; b < set.buckets.size(); ++b) {
+    recordWalk(root, set.buckets[b], v, set.lists[b], set);
+  }
+  (void)ps;
+  return set;
+}
+
+void zeroResults(ListSet& set) {
+  for (auto* bucket : set.buckets) {
+    for (int i = 0; i < bucket->n_particles; ++i) {
+      bucket->particles[i].acceleration = Vec3{};
+      bucket->particles[i].potential = 0.0;
+    }
+  }
+}
+
+/// Drain every bucket's lists through `eval` once; returns wall seconds.
+template <typename Visitor>
+double drainOnce(ListSet& set, const Visitor& visitor, BatchScratch<CentroidData>& scratch) {
+  BatchEvaluator<CentroidData, Visitor> eval(visitor, scratch);
+  WallTimer timer;
+  for (std::size_t b = 0; b < set.buckets.size(); ++b) {
+    Node<CentroidData>* bucket = set.buckets[b];
+    eval.evaluate(set.lists[b],
+                  SpatialNode<CentroidData>(bucket->data, bucket->box,
+                                            bucket->key, bucket->n_particles,
+                                            bucket->particles));
+  }
+  return timer.seconds();
+}
+
+/// Best-of-`reps` drain time (seconds) for one visitor type.
+template <typename Visitor>
+double bestDrain(ListSet& set, const Visitor& visitor, int reps) {
+  BatchScratch<CentroidData> scratch;
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    zeroResults(set);
+    best = std::min(best, drainOnce(set, visitor, scratch));
+  }
+  return best;
+}
+
+struct CaseResult {
+  std::string name;
+  double theta = 0.0;
+  std::uint64_t pp = 0;
+  std::uint64_t pn = 0;
+  double visitor_s = 0.0;
+  double batched_s = 0.0;
+
+  double visitorGpairs() const { return pp / visitor_s / 1e9; }
+  double batchedGpairs() const { return pp / batched_s / 1e9; }
+  double speedup() const { return visitor_s / batched_s; }
+};
+
+CaseResult runCase(const char* name, std::vector<Particle>& ps,
+                   Node<CentroidData>* root, double theta, int reps) {
+  GravityParams params;
+  params.use_quadrupole = false;
+  params.softening = 1e-3;
+  params.theta = theta;
+  ListSet set = recordLists(ps, root, params);
+  CaseResult r;
+  r.name = name;
+  r.theta = theta;
+  r.pp = set.pp;
+  r.pn = set.pn;
+  r.visitor_s = bestDrain(set, PairwiseGravityVisitor{params}, reps);
+  r.batched_s = bestDrain(set, GravityVisitor{params}, reps);
+  return r;
+}
+
+/// End-to-end traversal seconds through the Forest for one kernel choice
+/// (1 proc so the number is pure compute + traversal, no modeled comm).
+double endToEndTraverse(std::size_t n, EvalKernel kernel, int iterations) {
+  rts::Runtime::Config rc{1, 1, {}};
+  rts::Runtime rt(rc);
+  Configuration conf;
+  conf.tree_type = TreeType::eOct;
+  conf.decomp_type = DecompType::eSfc;
+  conf.min_partitions = 4;
+  conf.min_subtrees = 2;
+  conf.bucket_size = 16;
+  GravityParams params;
+  params.use_quadrupole = false;
+  params.softening = 1e-3;
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  forest.load(makeParticles(uniformCube(n, 7)));
+  forest.decompose();
+  double best = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < iterations; ++it) {
+    forest.build();
+    forest.resetPhaseTimes();
+    forest.traverse<GravityVisitor>(GravityVisitor{params},
+                                    TraversalStyle::kTransposed, kernel);
+    best = std::min(best, forest.phaseTimes().traverse);
+    forest.flush();
+  }
+  return best;
+}
+
+void writeJson(const std::string& path, std::size_t n, int bucket_size,
+               const std::vector<CaseResult>& cases, double e2e_visitor,
+               double e2e_batched) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  std::fprintf(f, "{\n  \"n\": %zu,\n  \"bucket_size\": %d,\n  \"cases\": [\n",
+               n, bucket_size);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"theta\": %g, \"pp_interactions\": %llu, "
+        "\"pn_interactions\": %llu, \"visitor_s\": %.6f, \"batched_s\": %.6f, "
+        "\"visitor_gpairs_per_s\": %.4f, \"batched_gpairs_per_s\": %.4f, "
+        "\"pp_throughput_speedup\": %.3f}%s\n",
+        c.name.c_str(), c.theta, static_cast<unsigned long long>(c.pp),
+        static_cast<unsigned long long>(c.pn), c.visitor_s, c.batched_s,
+        c.visitorGpairs(), c.batchedGpairs(), c.speedup(),
+        i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"end_to_end\": {\"visitor_traverse_s\": %.6f, "
+               "\"batched_traverse_s\": %.6f, \"speedup\": %.3f}\n}\n",
+               e2e_visitor, e2e_batched, e2e_visitor / e2e_batched);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_kernels.json";
+  bench::stripFlagArg(argc, argv, "--out=", out);
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30000;
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 5;
+  const int bucket_size = 64;  // long contiguous spans: the SoA regime
+
+  bench::printHeader("Kernels",
+                     "batched SoA vs visitor-callback interaction throughput");
+  std::printf("dataset: %zu uniform particles, bucket size %d, best of %d "
+              "reps\n\n",
+              n, bucket_size, reps);
+
+  auto ps = makeParticles(uniformCube(n, 12345));
+  assignKeys(ps, kUniverse);
+  NodeArena<CentroidData> arena;
+  BuildOptions opts;
+  opts.bucket_size = bucket_size;
+  auto* root = buildTree<CentroidData>(OctTreeType{}, arena,
+                                       std::span<Particle>(ps), kUniverse,
+                                       opts);
+
+  std::vector<CaseResult> cases;
+  // theta -> 0 opens every node: pure particle-particle lists.
+  cases.push_back(runCase("direct_sum", ps, root, 1e-6, reps));
+  cases.push_back(runCase("bh_theta07", ps, root, 0.7, reps));
+
+  std::printf("%-12s %8s %14s %14s %16s %16s %9s\n", "case", "theta",
+              "pp pairs", "pn pairs", "visitor Gpair/s", "batched Gpair/s",
+              "speedup");
+  for (const auto& c : cases) {
+    std::printf("%-12s %8g %14llu %14llu %16.3f %16.3f %8.2fx\n",
+                c.name.c_str(), c.theta,
+                static_cast<unsigned long long>(c.pp),
+                static_cast<unsigned long long>(c.pn), c.visitorGpairs(),
+                c.batchedGpairs(), c.speedup());
+  }
+
+  const std::size_t e2e_n = std::min<std::size_t>(n, 20000);
+  const double e2e_visitor = endToEndTraverse(e2e_n, EvalKernel::kVisitor, 2);
+  const double e2e_batched = endToEndTraverse(e2e_n, EvalKernel::kBatched, 2);
+  std::printf("\nend-to-end traverse (n=%zu, theta=0.7): visitor %.4fs, "
+              "batched %.4fs (%.2fx)\n",
+              e2e_n, e2e_visitor, e2e_batched, e2e_visitor / e2e_batched);
+
+  writeJson(out, n, bucket_size, cases, e2e_visitor, e2e_batched);
+  std::printf("results written to %s\n", out.c_str());
+  return 0;
+}

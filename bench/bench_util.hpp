@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/interaction_list.hpp"
 #include "observability/instrumentation.hpp"
 #include "observability/report.hpp"
 #include "rts/runtime.hpp"
@@ -79,6 +80,23 @@ inline rts::FaultConfig stripChaosArgs(int& argc, char** argv) {
   }
   if (fault.enabled) fault.drain_deadline_ms = 30000.0;
   return fault;
+}
+
+/// Strip a `--kernel=visitor|batched` flag and return the selected
+/// evaluation kernel (default: the inline visitor path). "batched"
+/// selects the two-phase interaction-list path with SoA batch kernels
+/// (core/batch_eval.hpp). Unknown values abort with a usage message
+/// rather than silently benchmarking the wrong thing.
+inline EvalKernel stripKernelArg(int& argc, char** argv) {
+  std::string value;
+  if (!stripFlagArg(argc, argv, "--kernel=", value)) {
+    return EvalKernel::kVisitor;
+  }
+  if (value == "visitor") return EvalKernel::kVisitor;
+  if (value == "batched") return EvalKernel::kBatched;
+  std::fprintf(stderr, "--kernel= expects 'visitor' or 'batched', got '%s'\n",
+               value.c_str());
+  std::exit(2);
 }
 
 /// End-of-run half of the --metrics-out story: no-op when `path` is empty,

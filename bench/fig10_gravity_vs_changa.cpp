@@ -43,7 +43,7 @@ struct Series {
 };
 
 Series runParaTreeT(std::size_t n, int procs, int workers,
-                    TraversalStyle style, int iterations) {
+                    TraversalStyle style, int iterations, EvalKernel kernel) {
   rts::Runtime::Config rc{procs, workers, bench::defaultInterconnect()};
   rts::Runtime rt(rc);
   Configuration conf;
@@ -62,7 +62,8 @@ Series runParaTreeT(std::size_t n, int procs, int workers,
     WallTimer timer;
     forest.build();
     const double build_s = timer.seconds();
-    forest.traverse<GravityVisitor>(GravityVisitor{monopoleParams()}, style);
+    forest.traverse<GravityVisitor>(GravityVisitor{monopoleParams()}, style,
+                                    kernel);
     iter_time.add(timer.seconds());
     s.build += build_s;
     s.comm_bytes += rt.stats().bytes;
@@ -107,23 +108,26 @@ Series runChanga(std::size_t n, int procs, int workers, int iterations,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const EvalKernel kernel = bench::stripKernelArg(argc, argv);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
   const int iterations = argc > 2 ? std::atoi(argv[2]) : 2;
 
   bench::printHeader("Fig 10",
                      "ParaTreeT vs ChaNGa, monopole BH, SFC + octree");
   std::printf("dataset: %zu uniform particles, %d iterations averaged, "
-              "modeled interconnect\n\n",
-              n, iterations);
+              "modeled interconnect, %s kernel\n\n",
+              n, iterations,
+              kernel == EvalKernel::kBatched ? "batched" : "visitor");
 
   std::printf("%-12s %-10s %14s %12s %14s %16s\n", "series", "cores",
               "avg iter (s)", "build (s)", "comm bytes", "boundary nodes");
   const std::vector<std::pair<int, int>> grid = {{1, 2}, {2, 2}, {2, 4}, {4, 4}};
   for (const auto& [procs, workers] : grid) {
     const auto pt = runParaTreeT(n, procs, workers,
-                                 TraversalStyle::kTransposed, iterations);
+                                 TraversalStyle::kTransposed, iterations,
+                                 kernel);
     const auto bt = runParaTreeT(n, procs, workers, TraversalStyle::kPerBucket,
-                                 iterations);
+                                 iterations, kernel);
     std::uint64_t boundary = 0;
     const auto ch = runChanga(n, procs, workers, iterations, &boundary);
     auto row = [&](const char* name, const Series& s, std::uint64_t b) {

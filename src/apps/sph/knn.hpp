@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "apps/sph/kernel.hpp"
+#include "core/interaction_list.hpp"
 #include "tree/node.hpp"
 #include "tree/particle.hpp"
 
@@ -88,6 +89,9 @@ template <typename Data>
 struct KNearestVisitor {
   NeighborStore* store{nullptr};
 
+  /// node() is a no-op, so batched traversals skip the summary copies.
+  static constexpr bool kRecordsNodeInteractions = false;
+
   bool open(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
     for (int i = 0; i < target.n_particles; ++i) {
       const Particle& p = target.particle(i);
@@ -115,6 +119,11 @@ struct KNearestVisitor {
 /// and are skipped for free by the same pruning test.
 template <typename Data>
 struct FixedBallDensityVisitor {
+  /// node() is a no-op, so batched traversals skip the summary copies.
+  static constexpr bool kRecordsNodeInteractions = false;
+  /// Cubic-spline evaluation inside the ball.
+  static constexpr double kFlopsPerPairInteraction = 18.0;
+
   bool open(const SpatialNode<Data>& source, SpatialNode<Data>& target) const {
     for (int i = 0; i < target.n_particles; ++i) {
       const Particle& p = target.particle(i);
@@ -145,6 +154,69 @@ struct FixedBallDensityVisitor {
           p.neighbor_count += 1;
         }
       }
+    }
+  }
+
+  /// Batch hook (EvalKernel::kBatched): the bucket's concatenated direct
+  /// list through a branchless masked cubic spline. The inline path's
+  /// per-leaf box precheck is dropped — a leaf farther than the ball can
+  /// contribute no pair anyway (box distance lower-bounds every pair
+  /// distance), so the d2 < ball2 mask alone reproduces the same set of
+  /// contributions (self included, as inline). neighbor_count is an exact
+  /// integer either way; density differs only by summation order.
+  void leafBatch(const SoaSources& src, SpatialNode<Data>& target,
+                 const SoaTargets& tgt) const {
+    constexpr int kLanes = 8;
+    const double* __restrict sx = src.x;
+    const double* __restrict sy = src.y;
+    const double* __restrict sz = src.z;
+    const double* __restrict sm = src.m;
+    for (int i = 0; i < tgt.n; ++i) {
+      Particle& p = target.particle(i);
+      const double ball2 = p.ball2;
+      if (ball2 <= 0.0) continue;
+      const double h = 0.5 * std::sqrt(ball2);
+      const double sigma = 1.0 / (3.14159265358979323846 * h * h * h);
+      const double px = tgt.x[i];
+      const double py = tgt.y[i];
+      const double pz = tgt.z[i];
+      double dens[kLanes] = {};
+      std::int32_t cnt[kLanes] = {};
+      int j = 0;
+      for (; j + kLanes <= src.n; j += kLanes) {
+        for (int l = 0; l < kLanes; ++l) {
+          const double dx = px - sx[j + l];
+          const double dy = py - sy[j + l];
+          const double dz = pz - sz[j + l];
+          const double d2 = dx * dx + dy * dy + dz * dz;
+          const bool in = d2 < ball2;
+          const double q = std::sqrt(d2) / h;
+          const double t = 2.0 - q;  // > 0 whenever `in`
+          const double wa = 1.0 - 1.5 * q * q + 0.75 * q * q * q;
+          const double wb = 0.25 * t * t * t;
+          const double w = sigma * (q < 1.0 ? wa : wb);
+          dens[l] += in ? sm[j + l] * w : 0.0;
+          cnt[l] += in ? 1 : 0;
+        }
+      }
+      double tdens = 0.0;
+      std::int32_t tcnt = 0;
+      for (; j < src.n; ++j) {
+        const double dx = px - sx[j];
+        const double dy = py - sy[j];
+        const double dz = pz - sz[j];
+        const double d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 < ball2) {
+          tdens += sm[j] * sph::kernelW(std::sqrt(d2), h);
+          tcnt += 1;
+        }
+      }
+      for (int l = 0; l < kLanes; ++l) {
+        tdens += dens[l];
+        tcnt += cnt[l];
+      }
+      p.density += tdens;
+      p.neighbor_count += tcnt;
     }
   }
 };

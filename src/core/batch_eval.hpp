@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/interaction_list.hpp"
+#include "tree/node.hpp"
+#include "util/timer.hpp"
+
+namespace paratreet {
+
+/// Batch-hook detection. A Visitor may optionally provide, on top of the
+/// paper's open()/node()/leaf():
+///
+///   void nodeBatch(const Data* nodes, int n, SpatialNode<Data>& target,
+///                  const SoaTargets& tgt) const;
+///   void leafBatch(const SoaSources& src, SpatialNode<Data>& target,
+///                  const SoaTargets& tgt) const;
+///
+/// nodeBatch consumes the bucket's whole node-approximation list at once
+/// (summaries gathered contiguous); leafBatch consumes the concatenated
+/// SoA gather of every direct-list source span. Hooks absent => the
+/// evaluator replays the recorded per-pair callbacks instead, in recorded
+/// order, so plain paper-style visitors work unchanged under
+/// EvalKernel::kBatched.
+template <typename V, typename Data>
+concept HasNodeBatch =
+    requires(const V v, const Data* d, int n, SpatialNode<Data>& t,
+             const SoaTargets& st) { v.nodeBatch(d, n, t, st); };
+
+template <typename V, typename Data>
+concept HasLeafBatch =
+    requires(const V v, const SoaSources& s, SpatialNode<Data>& t,
+             const SoaTargets& st) { v.leafBatch(s, t, st); };
+
+/// Whether batched traversals record the node-approximation list for this
+/// visitor. Visitors whose node() is a no-op (pure neighbour searches)
+/// declare `static constexpr bool kRecordsNodeInteractions = false;` and
+/// skip the bookkeeping entirely.
+template <typename V>
+constexpr bool recordsNodeInteractions() {
+  if constexpr (requires { V::kRecordsNodeInteractions; }) {
+    return V::kRecordsNodeInteractions;
+  } else {
+    return true;
+  }
+}
+
+/// Estimated floating-point ops per particle-particle interaction, used
+/// for the flop-estimate gauge in the observability report. Visitors can
+/// override with `static constexpr double kFlopsPerPairInteraction`.
+template <typename V>
+constexpr double flopsPerPairInteraction() {
+  if constexpr (requires { V::kFlopsPerPairInteraction; }) {
+    return V::kFlopsPerPairInteraction;
+  } else {
+    return 20.0;
+  }
+}
+
+/// Same for particle-node (summary) interactions
+/// (`kFlopsPerNodeInteraction`).
+template <typename V>
+constexpr double flopsPerNodeInteraction() {
+  if constexpr (requires { V::kFlopsPerNodeInteraction; }) {
+    return V::kFlopsPerNodeInteraction;
+  } else {
+    return 50.0;
+  }
+}
+
+/// Drains per-bucket interaction lists. One evaluator serves one
+/// Partition's buckets in sequence (it borrows the Partition's
+/// BatchScratch); construction is free, all storage is in the scratch.
+template <typename Data, typename Visitor>
+class BatchEvaluator {
+ public:
+  struct Totals {
+    double node_seconds = 0.0;    ///< time in nodeBatch / node() replay
+    double leaf_seconds = 0.0;    ///< time in leafBatch / leaf() replay
+    double replay_seconds = 0.0;  ///< interleaved bitwise replay (no hooks)
+  };
+
+  BatchEvaluator(const Visitor& visitor, BatchScratch<Data>& scratch)
+      : visitor_(visitor), scratch_(scratch) {}
+
+  /// Apply one bucket's recorded interactions to its particles. Does not
+  /// clear the list (the caller owns its lifetime).
+  void evaluate(const InteractionList<Data>& list, SpatialNode<Data> target) {
+    if (list.empty() || target.n_particles == 0) return;
+    constexpr bool node_hook = HasNodeBatch<Visitor, Data>;
+    constexpr bool leaf_hook = HasLeafBatch<Visitor, Data>;
+    if constexpr (!node_hook && !leaf_hook) {
+      // No batch kernels: replay the callbacks in recorded order, which
+      // reproduces the inline visitor path bitwise.
+      WallTimer timer;
+      list.forEachRecorded([&](bool is_leaf, std::size_t i) {
+        if (is_leaf) {
+          visitor_.leaf(SpatialNode<Data>::of(*list.leaves()[i]), target);
+        } else {
+          visitor_.node(SpatialNode<Data>::of(*list.nodes()[i]), target);
+        }
+      });
+      totals_.replay_seconds += timer.seconds();
+      return;
+    }
+    const SoaTargets tgt = gatherTargets(target);
+    {
+      WallTimer timer;
+      if constexpr (node_hook) {
+        if (!list.nodes().empty()) {
+          const int n = gatherNodes(list);
+          visitor_.nodeBatch(scratch_.node_data.data(), n, target, tgt);
+        }
+      } else {
+        for (const Node<Data>* node : list.nodes()) {
+          visitor_.node(SpatialNode<Data>::of(*node), target);
+        }
+      }
+      totals_.node_seconds += timer.seconds();
+    }
+    {
+      WallTimer timer;
+      if constexpr (leaf_hook) {
+        if (list.directSources() > 0) {
+          visitor_.leafBatch(gatherSources(list), target, tgt);
+        }
+      } else {
+        for (const Node<Data>* leaf : list.leaves()) {
+          visitor_.leaf(SpatialNode<Data>::of(*leaf), target);
+        }
+      }
+      totals_.leaf_seconds += timer.seconds();
+    }
+  }
+
+  const Totals& totals() const { return totals_; }
+
+ private:
+  /// Gather the bucket's particle positions/orders into contiguous arrays
+  /// (index-aligned with the target view); one gather serves both phases.
+  SoaTargets gatherTargets(SpatialNode<Data>& target) {
+    const auto n = static_cast<std::size_t>(target.n_particles);
+    scratch_.tx.resize(n);
+    scratch_.ty.resize(n);
+    scratch_.tz.resize(n);
+    scratch_.torder.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Particle& p = target.particle(static_cast<int>(i));
+      scratch_.tx[i] = p.position.x;
+      scratch_.ty[i] = p.position.y;
+      scratch_.tz[i] = p.position.z;
+      scratch_.torder[i] = static_cast<double>(p.order);
+    }
+    return SoaTargets{scratch_.tx.data(), scratch_.ty.data(),
+                      scratch_.tz.data(), scratch_.torder.data(),
+                      target.n_particles};
+  }
+
+  /// Copy the bucket's pruned-node summaries into one contiguous run (the
+  /// form nodeBatch streams). Bulk sequential writes into a warm buffer.
+  int gatherNodes(const InteractionList<Data>& list) {
+    const std::size_t n = list.nodes().size();
+    scratch_.node_data.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch_.node_data[i] = list.nodes()[i]->data;
+    }
+    return static_cast<int>(n);
+  }
+
+  /// Concatenate every direct-list span into the SoA source arrays.
+  SoaSources gatherSources(const InteractionList<Data>& list) {
+    const std::size_t n = list.directSources();
+    scratch_.sx.resize(n);
+    scratch_.sy.resize(n);
+    scratch_.sz.resize(n);
+    scratch_.sm.resize(n);
+    scratch_.sorder.resize(n);
+    std::size_t at = 0;
+    for (const Node<Data>* leaf : list.leaves()) {
+      for (int j = 0; j < leaf->n_particles; ++j, ++at) {
+        const Particle& p = leaf->particles[j];
+        scratch_.sx[at] = p.position.x;
+        scratch_.sy[at] = p.position.y;
+        scratch_.sz[at] = p.position.z;
+        scratch_.sm[at] = p.mass;
+        scratch_.sorder[at] = static_cast<double>(p.order);
+      }
+    }
+    return SoaSources{scratch_.sx.data(), scratch_.sy.data(),
+                      scratch_.sz.data(), scratch_.sm.data(),
+                      scratch_.sorder.data(), static_cast<int>(n)};
+  }
+
+  const Visitor& visitor_;
+  BatchScratch<Data>& scratch_;
+  Totals totals_{};
+};
+
+}  // namespace paratreet

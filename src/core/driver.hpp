@@ -97,17 +97,20 @@ class Driver {
 
  protected:
   /// Start a top-down traversal over all Partitions (paper:
-  /// partitions().startDown<Visitor>()).
+  /// partitions().startDown<Visitor>()). `kernel` selects inline visitor
+  /// callbacks or the two-phase interaction-list path.
   template <typename Visitor>
   void startDown(Visitor v = {},
-                 TraversalStyle style = TraversalStyle::kTransposed) {
-    forest_->template traverse<Visitor>(std::move(v), style);
+                 TraversalStyle style = TraversalStyle::kTransposed,
+                 EvalKernel kernel = EvalKernel::kVisitor) {
+    forest_->template traverse<Visitor>(std::move(v), style, kernel);
   }
 
   /// Start an up-and-down traversal over all Partitions.
   template <typename Visitor>
-  void startUpAndDown(Visitor v = {}) {
-    forest_->template traverseUpAndDown<Visitor>(std::move(v));
+  void startUpAndDown(Visitor v = {},
+                      EvalKernel kernel = EvalKernel::kVisitor) {
+    forest_->template traverseUpAndDown<Visitor>(std::move(v), kernel);
   }
 
  private:

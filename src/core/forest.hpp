@@ -259,10 +259,15 @@ class Forest {
   }
 
   /// Run a top-down traversal with visitor `V` over every Partition and
-  /// wait for global completion (quiescence).
+  /// wait for global completion (quiescence). With
+  /// EvalKernel::kBatched the walk only records per-bucket interaction
+  /// lists; a second phase (after quiescence) drains them through the
+  /// visitor's batch kernels — see core/batch_eval.hpp for validity
+  /// constraints.
   template <typename V>
   void traverse(V visitor = {},
-                TraversalStyle style = TraversalStyle::kTransposed) {
+                TraversalStyle style = TraversalStyle::kTransposed,
+                EvalKernel kernel = EvalKernel::kVisitor) {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "traverse.top_down", "traversal");
     std::vector<std::unique_ptr<TraverserBase>> traversers;
@@ -271,12 +276,13 @@ class Forest {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<TopDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, style, instr_.profiler);
+          visitor, style, kernel, instr_);
       auto* raw = trav.get();
       traversers.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
+    finishTraversers(traversers);
     {
       const double seconds = timer.seconds();
       times_.traverse += seconds;
@@ -284,9 +290,13 @@ class Forest {
     }
   }
 
-  /// Run an up-and-down traversal (k-nearest-neighbour style).
+  /// Run an up-and-down traversal (k-nearest-neighbour style). The
+  /// batched kernel is only appropriate here for fixed-criterion
+  /// searches; criteria that tighten via leaf() lose their pruning (see
+  /// UpAndDownTraverser).
   template <typename V>
-  void traverseUpAndDown(V visitor = {}) {
+  void traverseUpAndDown(V visitor = {},
+                         EvalKernel kernel = EvalKernel::kVisitor) {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "traverse.up_and_down", "traversal");
     std::vector<std::unique_ptr<TraverserBase>> traversers;
@@ -295,12 +305,13 @@ class Forest {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<UpAndDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, instr_.profiler);
+          visitor, kernel, instr_);
       auto* raw = trav.get();
       traversers.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
+    finishTraversers(traversers);
     {
       const double seconds = timer.seconds();
       times_.traverse += seconds;
@@ -470,6 +481,19 @@ class Forest {
   }
 
  private:
+  /// Post-quiescence phase: each traverser's finish() (the batched
+  /// evaluation + counter flush) runs as one task on its Partition's home
+  /// process, then we wait for global completion again. Traverser i
+  /// belongs to partitions_[i] (same construction order).
+  void finishTraversers(
+      const std::vector<std::unique_ptr<TraverserBase>>& traversers) {
+    for (std::size_t i = 0; i < traversers.size(); ++i) {
+      TraverserBase* raw = traversers[i].get();
+      rt_.enqueue(partitions_[i]->home_proc, [raw] { raw->finish(); });
+    }
+    rt_.drain();
+  }
+
   /// Accumulate one phase duration into the registry gauge
   /// "phase.<name>_seconds". Once-per-phase, so the registry lookup
   /// (mutexed) is off the hot path; no-op without a registry.

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/node.hpp"
+#include "tree/particle.hpp"
+
+namespace paratreet {
+
+/// How a traversal turns pruning decisions into computed interactions.
+enum class EvalKernel {
+  /// Inline per-(node, bucket) visitor callbacks as in the paper: node()
+  /// and leaf() run the moment the traversal makes a decision.
+  kVisitor,
+  /// Two-phase: the traversal only records per-bucket interaction lists;
+  /// a batched evaluator drains them through SoA kernels (or replays the
+  /// per-pair callbacks, preserving the recorded order) once the walk
+  /// completes. Only valid for visitors whose open() predicate does not
+  /// depend on results produced by node()/leaf() during the same
+  /// traversal (pure-geometry pruning, fixed search balls); criteria that
+  /// tighten mid-walk (kNN) stay correct but lose their pruning.
+  kBatched,
+};
+
+/// A target bucket's recorded interactions: the node-approximation list
+/// (pruned nodes whose `Data` summaries the evaluator consumes) and the
+/// direct list (opened leaves whose particles are evaluated pairwise).
+/// Both store bare node pointers — tree nodes and cached copies are
+/// pinned until the next build, and the evaluation phase runs before
+/// that — so recording costs two small pushes, no summary copies. The
+/// interleaved record order is kept so a per-pair replay reproduces the
+/// inline visitor path bitwise.
+template <typename Data>
+class InteractionList {
+ public:
+  void addNode(const Node<Data>& node) {
+    order_.push_back(static_cast<std::uint32_t>(nodes_.size()) << 1);
+    nodes_.push_back(&node);
+  }
+
+  void addLeaf(const Node<Data>& node) {
+    order_.push_back((static_cast<std::uint32_t>(leaves_.size()) << 1) | 1u);
+    leaves_.push_back(&node);
+    direct_sources_ += static_cast<std::size_t>(node.n_particles);
+  }
+
+  const std::vector<const Node<Data>*>& nodes() const { return nodes_; }
+  const std::vector<const Node<Data>*>& leaves() const { return leaves_; }
+  /// Total source particles across the direct list.
+  std::size_t directSources() const { return direct_sources_; }
+  bool empty() const { return order_.empty(); }
+
+  /// Walk the record in arrival order: fn(is_leaf, index-within-kind).
+  template <typename Fn>
+  void forEachRecorded(Fn&& fn) const {
+    for (const std::uint32_t tag : order_) {
+      fn((tag & 1u) != 0, static_cast<std::size_t>(tag >> 1));
+    }
+  }
+
+  /// Keep capacity (lists are reused across buckets and iterations).
+  void clear() {
+    nodes_.clear();
+    leaves_.clear();
+    order_.clear();
+    direct_sources_ = 0;
+  }
+
+ private:
+  std::vector<const Node<Data>*> nodes_;
+  std::vector<const Node<Data>*> leaves_;
+  std::vector<std::uint32_t> order_;
+  std::size_t direct_sources_{0};
+};
+
+/// Reusable staging buffers for one bucket evaluation at a time: the
+/// bucket's node summaries gathered contiguous (what nodeBatch streams),
+/// the concatenated SoA fields of its direct-list sources, and the SoA
+/// gather of its target particles. Owned by the Partition so the arrays
+/// warm up to the largest bucket once and are reused for every bucket of
+/// every iteration; the Partition's run_mutex serializes access.
+template <typename Data>
+struct BatchScratch {
+  std::vector<Data> node_data;
+  std::vector<double> sx, sy, sz, sm, sorder;
+  std::vector<double> tx, ty, tz, torder;
+};
+
+/// Read-only SoA view of a gathered source batch, handed to leafBatch()
+/// hooks. `order` carries Particle::order so kernels can mask
+/// self-interaction by index instead of testing dr2 == 0. It is stored
+/// as double — exact for any order below 2^53 — so the comparison stays
+/// in the FP pipeline and the mask select vectorizes with the rest of
+/// the lane body (an int load in the inner loop defeats SLP).
+struct SoaSources {
+  const double* x{nullptr};
+  const double* y{nullptr};
+  const double* z{nullptr};
+  const double* m{nullptr};
+  const double* order{nullptr};
+  int n{0};
+};
+
+/// Read-only SoA view of the target bucket's particles; index-aligned
+/// with SpatialNode::particle(i), so hooks read positions from the
+/// contiguous arrays and scatter results through the target view once.
+struct SoaTargets {
+  const double* x{nullptr};
+  const double* y{nullptr};
+  const double* z{nullptr};
+  const double* order{nullptr};
+  int n{0};
+};
+
+}  // namespace paratreet

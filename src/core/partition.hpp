@@ -3,6 +3,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/interaction_list.hpp"
 #include "tree/node.hpp"
 #include "tree/particle.hpp"
 #include "util/box.hpp"
@@ -53,6 +54,19 @@ struct Partition {
   /// current iteration (written under run_mutex); input to the load
   /// balancers.
   double measured_load{0.0};
+
+  /// SoA staging arrays for the batched evaluation phase
+  /// (EvalKernel::kBatched). Owned here so the buffers warm up once and
+  /// are reused across buckets and iterations; accessed only under
+  /// run_mutex (the evaluation runs as one chare-style task).
+  BatchScratch<Data> batch_scratch;
+
+  /// Per-bucket interaction lists for EvalKernel::kBatched, index-aligned
+  /// with `buckets`. Owned here (not by the per-traversal traverser) so
+  /// list capacity survives across iterations; touched only under
+  /// run_mutex and always drained + cleared by the traversal's finish
+  /// phase before the next build invalidates the recorded node pointers.
+  std::vector<InteractionList<Data>> interaction_lists;
 
   void addBucket(Bucket<Data> bucket) {
     std::lock_guard lock(intake_mutex);

@@ -2,11 +2,15 @@
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 
+#include "core/batch_eval.hpp"
 #include "core/cache.hpp"
+#include "core/interaction_list.hpp"
 #include "core/partition.hpp"
+#include "observability/instrumentation.hpp"
 #include "util/timer.hpp"
 #include "rts/profiler.hpp"
 #include "rts/runtime.hpp"
@@ -23,13 +27,21 @@ namespace paratreet {
 ///   void leaf(S source, T target)  — source is an opened leaf
 /// These are resolved statically (class template), so the compiler inlines
 /// them into the traversal loops — the paper's "performance with
-/// generality" technique.
+/// generality" technique. Under EvalKernel::kBatched the node()/leaf()
+/// consequences are recorded as per-bucket interaction lists instead and
+/// drained after the walk (optionally through the visitor's batch hooks;
+/// see core/batch_eval.hpp).
 
 /// Type-erased base so the Driver can keep heterogeneous traversers alive
 /// until the iteration drains.
 class TraverserBase {
  public:
   virtual ~TraverserBase() = default;
+
+  /// Called once per Partition after the walk reaches quiescence. The
+  /// batched evaluation phase lives here; the default is a no-op so
+  /// traversers without a deferred phase need nothing.
+  virtual void finish() {}
 };
 
 /// How a top-down traversal iterates (Fig 10's ablation):
@@ -71,6 +83,124 @@ Node<Data>* findChildByKey(Node<Data>* parent, Key key) {
   return nullptr;
 }
 
+/// State shared by the single-tree traversers: the interaction-list
+/// recorder, the pp/pn interaction counters, and their flush into the
+/// metrics registry. Everything here is touched only under the owning
+/// Partition's run_mutex.
+template <typename Data, typename Visitor>
+class InteractionRecorder {
+ public:
+  InteractionRecorder(Partition<Data>& partition, Visitor& visitor,
+                      EvalKernel kernel, Instrumentation instr)
+      : partition_(partition), visitor_(visitor), kernel_(kernel),
+        instr_(instr) {}
+
+  /// Size the per-bucket lists; call once the buckets are known (seed
+  /// task), before any interaction lands. The lists live on the Partition
+  /// so their capacity persists across iterations.
+  void prepare() {
+    if (kernel_ == EvalKernel::kBatched) {
+      partition_.interaction_lists.resize(partition_.buckets.size());
+      for (auto& list : partition_.interaction_lists) list.clear();
+    }
+  }
+
+  /// Source pruned against bucket `t`: consume its summary now (visitor
+  /// kernel) or append it to the bucket's node-approximation list.
+  void interactNode(const Node<Data>& node, const SpatialNode<Data>& src,
+                    SpatialNode<Data>& tgt, std::uint32_t t) {
+    pn_count_ += static_cast<std::uint64_t>(tgt.n_particles);
+    if (kernel_ == EvalKernel::kBatched) {
+      if constexpr (recordsNodeInteractions<Visitor>()) {
+        partition_.interaction_lists[t].addNode(node);
+      }
+    } else {
+      visitor_.node(src, tgt);
+    }
+  }
+
+  /// Source is an opened leaf for bucket `t`: evaluate the pair now or
+  /// append the source span to the bucket's direct list.
+  void interactLeaf(const Node<Data>& node, const SpatialNode<Data>& src,
+                    SpatialNode<Data>& tgt, std::uint32_t t) {
+    pp_count_ += static_cast<std::uint64_t>(node.n_particles) *
+                 static_cast<std::uint64_t>(tgt.n_particles);
+    if (kernel_ == EvalKernel::kBatched) {
+      partition_.interaction_lists[t].addLeaf(node);
+    } else {
+      visitor_.leaf(src, tgt);
+    }
+  }
+
+  /// The deferred phase: drain every bucket's lists through the batched
+  /// evaluator (SoA hooks when the visitor has them, recorded-order
+  /// replay otherwise), then publish the interaction counters. Caller
+  /// holds the run_mutex.
+  void finish() {
+    if (kernel_ == EvalKernel::kBatched &&
+        !partition_.interaction_lists.empty()) {
+      rts::ActivityScope scope(instr_.profiler, rts::Activity::kLocalTraversal);
+      LoadScope<Data> load(partition_);
+      obs::TraceSpan span(instr_.trace, "kernel.batch_eval", "kernel");
+      BatchEvaluator<Data, Visitor> eval(visitor_, partition_.batch_scratch);
+      for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
+        eval.evaluate(partition_.interaction_lists[b],
+                      partition_.buckets[b].view());
+        partition_.interaction_lists[b].clear();
+      }
+      emitKernelPhases(eval.totals());
+    }
+    flushCounters();
+  }
+
+ private:
+  void emitKernelPhases(
+      const typename BatchEvaluator<Data, Visitor>::Totals& totals) {
+    if (instr_.metrics != nullptr) {
+      instr_.metrics->gauge("kernel.node_seconds").add(totals.node_seconds);
+      instr_.metrics->gauge("kernel.leaf_seconds").add(totals.leaf_seconds);
+      instr_.metrics->gauge("kernel.replay_seconds").add(totals.replay_seconds);
+    }
+    if (instr_.trace != nullptr) {
+      // Aggregate per-phase events (one per Partition) so the kernel
+      // phases show up under the enclosing kernel.batch_eval span.
+      const auto now = std::chrono::steady_clock::now();
+      auto emit = [&](const char* name, double seconds) {
+        if (seconds <= 0.0) return;
+        obs::TraceEvent ev;
+        ev.name = name;
+        ev.category = "kernel";
+        ev.duration_us = static_cast<std::int64_t>(seconds * 1e6);
+        ev.start_us = instr_.trace->sinceOriginUs(now) - ev.duration_us;
+        instr_.trace->record(ev);
+      };
+      emit("kernel.node_phase", totals.node_seconds);
+      emit("kernel.leaf_phase", totals.leaf_seconds);
+      emit("kernel.replay_phase", totals.replay_seconds);
+    }
+  }
+
+  void flushCounters() {
+    if (instr_.metrics == nullptr || (pp_count_ == 0 && pn_count_ == 0)) {
+      pp_count_ = pn_count_ = 0;
+      return;
+    }
+    instr_.metrics->counter("traversal.interactions.pp").add(pp_count_);
+    instr_.metrics->counter("traversal.interactions.pn").add(pn_count_);
+    instr_.metrics->gauge("traversal.flops_estimated")
+        .add(static_cast<double>(pp_count_) * flopsPerPairInteraction<Visitor>() +
+             static_cast<double>(pn_count_) * flopsPerNodeInteraction<Visitor>());
+    pp_count_ = pn_count_ = 0;
+  }
+
+  Partition<Data>& partition_;
+  Visitor& visitor_;
+  EvalKernel kernel_;
+  Instrumentation instr_;
+  std::uint64_t pp_count_{0};  ///< particle-particle interactions decided
+  std::uint64_t pn_count_{0};  ///< particle-node interactions decided
+};
+
 /// The top-down traverser: starts at the global root and walks depth
 /// first onto unpruned children. Remote nodes pause the affected targets
 /// and the traversal continues elsewhere; the cache resumes them when the
@@ -81,15 +211,19 @@ class TopDownTraverser final : public TraverserBase {
   TopDownTraverser(Partition<Data>& partition, CacheManager<Data>& cache,
                    rts::Runtime& rt, Visitor visitor = {},
                    TraversalStyle style = TraversalStyle::kTransposed,
-                   rts::ActivityProfiler* profiler = nullptr)
+                   EvalKernel kernel = EvalKernel::kVisitor,
+                   Instrumentation instr = {})
       : partition_(partition), cache_(cache), rt_(rt),
-        visitor_(std::move(visitor)), style_(style), profiler_(profiler) {}
+        visitor_(std::move(visitor)), style_(style), instr_(instr),
+        profiler_(instr.profiler),
+        recorder_(partition, visitor_, kernel, instr) {}
 
   /// Seed the traversal; must run on a worker of the partition's process.
   void start() {
     rts::ActivityScope scope(profiler_, rts::Activity::kLocalTraversal);
     std::lock_guard run(partition_.run_mutex);
     LoadScope<Data> load(partition_);
+    recorder_.prepare();
     Node<Data>* root = cache_.root();
     if (style_ == TraversalStyle::kTransposed) {
       TargetList all;
@@ -107,22 +241,32 @@ class TopDownTraverser final : public TraverserBase {
     }
   }
 
+  /// Drain the recorded interaction lists (batched kernel) and flush the
+  /// interaction counters. The Forest calls this after quiescence, so
+  /// every paused-and-resumed branch has already recorded.
+  void finish() override {
+    std::lock_guard run(partition_.run_mutex);
+    recorder_.finish();
+  }
+
  private:
   void dfs(Node<Data>* node, const TargetList& targets) {
     if (node == nullptr || node->type == NodeType::kEmptyLeaf) return;
     const SpatialNode<Data> src = SpatialNode<Data>::of(*node);
-    TargetList keep;
+    TargetList& keep = scratchAt(node->depth);
+    keep.clear();
+    keep.reserve(targets.size());
     for (std::uint32_t t : targets) {
       auto tgt = partition_.buckets[t].view();
       if (visitor_.open(src, tgt)) keep.push_back(t);
-      else visitor_.node(src, tgt);
+      else recorder_.interactNode(*node, src, tgt, t);
     }
     if (keep.empty()) return;
     switch (node->type) {
       case NodeType::kLeaf:
         for (std::uint32_t t : keep) {
           auto tgt = partition_.buckets[t].view();
-          visitor_.leaf(src, tgt);
+          recorder_.interactLeaf(*node, src, tgt, t);
         }
         return;
       case NodeType::kInternal:
@@ -140,10 +284,24 @@ class TopDownTraverser final : public TraverserBase {
     }
   }
 
+  /// Per-depth scratch TargetList: a dfs step at depth d filters into
+  /// slot d while its children reuse slot d+1, so the frontier no longer
+  /// allocates one list per recursion step. Deque for reference
+  /// stability — growing a deeper slot must not move slot d out from
+  /// under the recursion that still reads it.
+  TargetList& scratchAt(int depth) {
+    assert(depth >= 0);
+    while (static_cast<std::size_t>(depth) >= scratch_.size()) {
+      scratch_.emplace_back();
+    }
+    return scratch_[static_cast<std::size_t>(depth)];
+  }
+
   /// Defer `keep` until the placeholder's region is cached. The resume
   /// re-locates the published node and re-enters dfs; open() is
   /// re-evaluated there, which is safe because pruning predicates are
-  /// either pure geometry or shrink monotonically (kNN).
+  /// either pure geometry or shrink monotonically (kNN). Moving out of
+  /// the depth-scratch slot leaves it valid-empty for the next step.
   void pause(Node<Data>* ph, TargetList keep) {
     const int slot = rts::Runtime::currentWorker();
     // kPerThread: the data may already sit in this worker's private cache.
@@ -181,7 +339,10 @@ class TopDownTraverser final : public TraverserBase {
   rts::Runtime& rt_;
   Visitor visitor_;
   TraversalStyle style_;
+  Instrumentation instr_;
   rts::ActivityProfiler* profiler_;
+  InteractionRecorder<Data, Visitor> recorder_;
+  std::deque<TargetList> scratch_;  ///< per-depth frontier scratch
 };
 
 /// The up-and-down traverser (paper Section II.A.2): per target bucket,
@@ -190,22 +351,37 @@ class TopDownTraverser final : public TraverserBase {
 /// for pruning criteria that tighten during traversal (k-nearest
 /// neighbours): visiting near regions first shrinks the search ball
 /// before far regions are considered.
+///
+/// Under EvalKernel::kBatched the leaves are recorded instead of
+/// evaluated, so a criterion that tightens via leaf() (kNN) never shrinks
+/// during the walk: results stay correct, but the traversal records every
+/// candidate the *initial* ball admits — use the batched kernel here only
+/// for fixed-radius searches.
 template <typename Data, typename Visitor>
 class UpAndDownTraverser final : public TraverserBase {
  public:
   UpAndDownTraverser(Partition<Data>& partition, CacheManager<Data>& cache,
                      rts::Runtime& rt, Visitor visitor = {},
-                     rts::ActivityProfiler* profiler = nullptr)
+                     EvalKernel kernel = EvalKernel::kVisitor,
+                     Instrumentation instr = {})
       : partition_(partition), cache_(cache), rt_(rt),
-        visitor_(std::move(visitor)), profiler_(profiler) {}
+        visitor_(std::move(visitor)), instr_(instr),
+        profiler_(instr.profiler),
+        recorder_(partition, visitor_, kernel, instr) {}
 
   void start() {
     rts::ActivityScope scope(profiler_, rts::Activity::kLocalTraversal);
     std::lock_guard run(partition_.run_mutex);
     LoadScope<Data> load(partition_);
+    recorder_.prepare();
     for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
       descend(cache_.root(), b, /*path=*/{});
     }
+  }
+
+  void finish() override {
+    std::lock_guard run(partition_.run_mutex);
+    recorder_.finish();
   }
 
  private:
@@ -258,12 +434,12 @@ class UpAndDownTraverser final : public TraverserBase {
     const SpatialNode<Data> src = SpatialNode<Data>::of(*node);
     auto tgt = partition_.buckets[b].view();
     if (!visitor_.open(src, tgt)) {
-      visitor_.node(src, tgt);
+      recorder_.interactNode(*node, src, tgt, b);
       return;
     }
     switch (node->type) {
       case NodeType::kLeaf:
-        visitor_.leaf(src, tgt);
+        recorder_.interactLeaf(*node, src, tgt, b);
         return;
       case NodeType::kInternal:
       case NodeType::kBoundary:
@@ -313,7 +489,9 @@ class UpAndDownTraverser final : public TraverserBase {
   CacheManager<Data>& cache_;
   rts::Runtime& rt_;
   Visitor visitor_;
+  Instrumentation instr_;
   rts::ActivityProfiler* profiler_;
+  InteractionRecorder<Data, Visitor> recorder_;
 };
 
 }  // namespace paratreet

@@ -1,0 +1,229 @@
+// Batched two-phase evaluation (EvalKernel::kBatched) must agree with
+// the inline visitor path: bitwise for hook-free visitors on a
+// deterministic configuration (the replay runs the identical callbacks
+// in the identical order), and to tight relative tolerance for SoA
+// batch hooks (lane-blocked accumulation reassociates the sums).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "apps/gravity/gravity.hpp"
+#include "apps/sph/knn.hpp"
+#include "apps/sph/sph.hpp"
+#include "core/forest.hpp"
+#include "observability/instrumentation.hpp"
+
+namespace paratreet {
+namespace {
+
+Configuration gravConfig() {
+  Configuration conf;
+  conf.min_partitions = 5;
+  conf.min_subtrees = 4;
+  conf.bucket_size = 10;
+  return conf;
+}
+
+/// Single-pause deterministic setup (mirrors the chaos suite): binary
+/// kd-tree, one Subtree and one Partition per proc (a lone requester per
+/// cache always misses on first encounter, so each walk pauses exactly
+/// once), whole remote subtree in one fill.
+Configuration bitwiseConfig() {
+  Configuration conf;
+  conf.tree_type = TreeType::eKd;
+  conf.decomp_type = DecompType::eKd;
+  conf.min_subtrees = 2;
+  conf.min_partitions = 2;
+  conf.bucket_size = 16;
+  conf.fetch_depth = 32;
+  return conf;
+}
+
+/// GravityVisitor stripped of its batch hooks: under kBatched the
+/// evaluator has nothing to vectorize and replays the recorded
+/// callbacks, which must reproduce the inline path bitwise.
+struct PlainGravityVisitor {
+  GravityVisitor inner{};
+  bool open(const SpatialNode<CentroidData>& s,
+            SpatialNode<CentroidData>& t) const {
+    return inner.open(s, t);
+  }
+  void node(const SpatialNode<CentroidData>& s,
+            SpatialNode<CentroidData>& t) const {
+    inner.node(s, t);
+  }
+  void leaf(const SpatialNode<CentroidData>& s,
+            SpatialNode<CentroidData>& t) const {
+    inner.leaf(s, t);
+  }
+};
+
+template <typename TreeT, typename Visitor>
+std::vector<Particle> runGravity(rts::Runtime& rt, const Configuration& conf,
+                                 TraversalStyle style, EvalKernel kernel,
+                                 Instrumentation instr = {},
+                                 std::size_t n = 500) {
+  Forest<CentroidData, TreeT> forest(rt, conf, instr);
+  forest.load(makeParticles(uniformCube(n, 71)));
+  forest.decompose();
+  forest.build();
+  forest.template traverse<Visitor>({}, style, kernel);
+  return forest.collect();
+}
+
+void expectCloseResults(const std::vector<Particle>& a,
+                        const std::vector<Particle>& b, double rel) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = a[i].acceleration.length() + 1e-12;
+    EXPECT_LT((a[i].acceleration - b[i].acceleration).length(), rel * scale)
+        << "particle " << i;
+    EXPECT_NEAR(a[i].potential, b[i].potential,
+                rel * (std::abs(a[i].potential) + 1e-12))
+        << "particle " << i;
+  }
+}
+
+template <typename TreeT>
+class BatchEvalTreeTest : public ::testing::Test {};
+using TreeTypes = ::testing::Types<OctTreeType, KdTreeType, LongestDimTreeType>;
+TYPED_TEST_SUITE(BatchEvalTreeTest, TreeTypes);
+
+TYPED_TEST(BatchEvalTreeTest, GravityBatchedMatchesVisitorBothStyles) {
+  // One worker per proc: each kernel's own run is deterministic, so only
+  // the batch hooks' lane-blocked reassociation separates the results.
+  rts::Runtime rt({2, 1});
+  for (const TraversalStyle style :
+       {TraversalStyle::kTransposed, TraversalStyle::kPerBucket}) {
+    const auto v = runGravity<TypeParam, GravityVisitor>(
+        rt, gravConfig(), style, EvalKernel::kVisitor);
+    const auto b = runGravity<TypeParam, GravityVisitor>(
+        rt, gravConfig(), style, EvalKernel::kBatched);
+    expectCloseResults(v, b, 1e-12);
+  }
+}
+
+TEST(BatchEval, MultiWorkerBatchedMatchesVisitor) {
+  // With several workers, pause/resume scheduling may reorder the inline
+  // path's accumulation between runs; use the suite-standard 1e-9 bound.
+  rts::Runtime rt({3, 2});
+  const auto v = runGravity<OctTreeType, GravityVisitor>(
+      rt, gravConfig(), TraversalStyle::kTransposed, EvalKernel::kVisitor);
+  const auto b = runGravity<OctTreeType, GravityVisitor>(
+      rt, gravConfig(), TraversalStyle::kTransposed, EvalKernel::kBatched);
+  expectCloseResults(v, b, 1e-9);
+}
+
+TEST(BatchEval, HookFreeReplayIsBitwise) {
+  rts::Runtime rt({2, 1});
+  for (const TraversalStyle style :
+       {TraversalStyle::kTransposed, TraversalStyle::kPerBucket}) {
+    const auto v = runGravity<KdTreeType, PlainGravityVisitor>(
+        rt, bitwiseConfig(), style, EvalKernel::kVisitor, {}, 600);
+    const auto b = runGravity<KdTreeType, PlainGravityVisitor>(
+        rt, bitwiseConfig(), style, EvalKernel::kBatched, {}, 600);
+    ASSERT_EQ(v.size(), b.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_EQ(0, std::memcmp(&v[i].acceleration, &b[i].acceleration,
+                               sizeof(v[i].acceleration)))
+          << "particle " << i;
+      EXPECT_EQ(0, std::memcmp(&v[i].potential, &b[i].potential,
+                               sizeof(v[i].potential)))
+          << "particle " << i;
+    }
+  }
+}
+
+TEST(BatchEval, SphFixedBallMatchesVisitor) {
+  rts::Runtime rt({2, 1});
+  auto run = [&](EvalKernel kernel) {
+    Configuration conf = gravConfig();
+    conf.bucket_size = 12;
+    Forest<SphData, OctTreeType> forest(rt, conf);
+    forest.load(makeParticles(uniformCube(400, 83)));
+    forest.decompose();
+    forest.build();
+    forest.forEachParticle([](Particle& p) {
+      p.ball2 = p.order % 3 == 0 ? 0.02 : 0.0;  // mix active and inactive
+      p.density = 0.0;
+      p.neighbor_count = 0;
+    });
+    forest.traverse<FixedBallDensityVisitor<SphData>>({},
+                                                      TraversalStyle::kTransposed,
+                                                      kernel);
+    return forest.collect();
+  };
+  const auto v = run(EvalKernel::kVisitor);
+  const auto b = run(EvalKernel::kBatched);
+  ASSERT_EQ(v.size(), b.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    // Neighbour counts are integer classifications and must agree
+    // exactly; densities reassociate in the lane-blocked kernel.
+    EXPECT_EQ(v[i].neighbor_count, b[i].neighbor_count) << "particle " << i;
+    EXPECT_NEAR(v[i].density, b[i].density,
+                1e-12 * (std::abs(v[i].density) + 1e-12))
+        << "particle " << i;
+  }
+}
+
+TEST(BatchEval, KnnBatchedStaysCorrect) {
+  // kNN's shrinking ball can't prune during the record phase, but the
+  // replayed result must still be exact.
+  rts::Runtime rt({2, 2});
+  Forest<SphData, OctTreeType> forest(rt, gravConfig());
+  auto particles = makeParticles(uniformCube(300, 89));
+  const auto reference = particles;
+  forest.load(std::move(particles));
+  forest.decompose();
+  forest.build();
+  const int k = 8;
+  NeighborStore store(reference.size(), k);
+  forest.forEachParticle([](Particle& p) { p.ball2 = kInfiniteBall; });
+  forest.traverseUpAndDown(KNearestVisitor<SphData>{&store},
+                           EvalKernel::kBatched);
+  for (int order : {0, 42, 150, 299}) {
+    std::vector<std::pair<double, int>> d;
+    for (const auto& p : reference) {
+      d.push_back({distanceSquared(
+                       p.position,
+                       reference[static_cast<std::size_t>(order)].position),
+                   p.order});
+    }
+    std::sort(d.begin(), d.end());
+    auto heap = store.neighbors(order);
+    ASSERT_EQ(heap.size(), static_cast<std::size_t>(k)) << "order " << order;
+    std::sort(heap.begin(), heap.end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.d2 < b.d2; });
+    for (int i = 0; i < k; ++i) {
+      EXPECT_NEAR(heap[static_cast<std::size_t>(i)].d2,
+                  d[static_cast<std::size_t>(i)].first, 1e-12)
+          << "order " << order << " rank " << i;
+    }
+  }
+}
+
+TEST(BatchEval, InteractionCountersMatchAcrossKernels) {
+  // Both kernels make the same pruning decisions, so the recorded
+  // pp/pn interaction counts must be identical.
+  rts::Runtime rt({2, 1});
+  auto count = [&](EvalKernel kernel) {
+    Observability ob;
+    runGravity<OctTreeType, GravityVisitor>(rt, gravConfig(),
+                                            TraversalStyle::kTransposed, kernel,
+                                            ob.handle());
+    return std::pair{ob.metrics.counter("traversal.interactions.pp").value(),
+                     ob.metrics.counter("traversal.interactions.pn").value()};
+  };
+  const auto [vpp, vpn] = count(EvalKernel::kVisitor);
+  const auto [bpp, bpn] = count(EvalKernel::kBatched);
+  EXPECT_GT(vpp, 0u);
+  EXPECT_GT(vpn, 0u);
+  EXPECT_EQ(vpp, bpp);
+  EXPECT_EQ(vpn, bpn);
+}
+
+}  // namespace
+}  // namespace paratreet

@@ -4,13 +4,14 @@
 // must become a thrown watchdog diagnostic instead of a hang.
 //
 // The gravity setup is chosen so the result is bitwise-reproducible, not
-// just tolerance-equal: a binary kd-tree with exactly two Subtrees on
-// 2 procs x 1 worker, and a fetch_depth that ships a whole remote subtree
-// in one fill. Each Partition then pauses at most once (on the single
-// remote-subtree placeholder) and every bucket accumulates its sources in
-// one deterministic order, no matter how fault injection reshuffles
-// message timing. PARATREET_CHAOS_SEED overrides the schedule seed (the
-// CI chaos job sweeps several).
+// just tolerance-equal: a binary kd-tree with exactly two Subtrees and
+// one Partition per proc on 2 procs x 1 worker, and a fetch_depth that
+// ships a whole remote subtree in one fill. Each Partition then pauses
+// exactly once (on the single remote-subtree placeholder, which its
+// proc's cache cannot have filled earlier for anyone else) and every
+// bucket accumulates its sources in one deterministic order, no matter
+// how fault injection reshuffles message timing. PARATREET_CHAOS_SEED
+// overrides the schedule seed (the CI chaos job sweeps several).
 
 #include <gtest/gtest.h>
 
@@ -41,7 +42,12 @@ Configuration bitwiseConfig() {
   conf.tree_type = TreeType::eKd;
   conf.decomp_type = DecompType::eKd;
   conf.min_subtrees = 2;  // one Subtree per proc: a single remote region
-  conf.min_partitions = 4;
+  // One Partition per proc: partitions on a proc share its cache, so a
+  // second partition could find the remote subtree already filled by the
+  // first's request and skip its pause — whether it does depends on fill
+  // timing, which perturbs the accumulation order. A single requester per
+  // cache always misses on first encounter: exactly one pause, always.
+  conf.min_partitions = 2;
   conf.bucket_size = 16;
   conf.fetch_depth = 32;  // one fill ships the entire remote subtree
   return conf;
@@ -72,7 +78,8 @@ struct ChaosRun {
 };
 
 ChaosRun runGravity(const rts::FaultConfig& fault,
-                    Instrumentation instr = {}) {
+                    Instrumentation instr = {},
+                    EvalKernel kernel = EvalKernel::kVisitor) {
   rts::Runtime::Config rc;
   rc.n_procs = 2;
   rc.workers_per_proc = 1;
@@ -86,7 +93,8 @@ ChaosRun runGravity(const rts::FaultConfig& fault,
     forest.load(makeParticles(uniformCube(600, 77)));
     forest.decompose();
     forest.build();
-    forest.traverse<GravityVisitor>(GravityVisitor{});
+    forest.traverse<GravityVisitor>(GravityVisitor{},
+                                    TraversalStyle::kTransposed, kernel);
     out.particles = forest.collect();
     out.cache = forest.cacheStatsTotal();
   }
@@ -127,6 +135,22 @@ TEST(Chaos, BitwiseIdenticalPhysicsUnderTransportFaults) {
   EXPECT_GT(faulty.fault_counts[static_cast<std::size_t>(
                 rts::FaultKind::kDrop)],
             0u);
+  EXPECT_GT(faulty.retries, 0u);
+  expectBitwiseEqual(clean.particles, faulty.particles);
+}
+
+TEST(Chaos, BatchedKernelBitwiseIdenticalUnderTransportFaults) {
+  // The two-phase batched evaluator records interactions during the
+  // (fault-perturbed) walk and evaluates them afterwards; the recorded
+  // order is deterministic under the bitwise config, so injected faults
+  // must not change a single bit of the physics here either.
+  const ChaosRun clean =
+      runGravity(rts::FaultConfig{}, {}, EvalKernel::kBatched);
+  const ChaosRun faulty =
+      runGravity(mixedSchedule(chaosSeed()), {}, EvalKernel::kBatched);
+  std::uint64_t injected = 0;
+  for (const auto c : faulty.fault_counts) injected += c;
+  EXPECT_GT(injected, 0u);
   EXPECT_GT(faulty.retries, 0u);
   expectBitwiseEqual(clean.particles, faulty.particles);
 }

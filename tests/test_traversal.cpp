@@ -71,31 +71,32 @@ Configuration testConfig() {
 }
 
 class TraversalCoverageTest
-    : public ::testing::TestWithParam<std::tuple<int, int, TraversalStyle>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, TraversalStyle, EvalKernel>> {};
 
 TEST_P(TraversalCoverageTest, EveryPairCountedOnce) {
-  const auto [procs, workers, style] = GetParam();
+  const auto [procs, workers, style, kernel] = GetParam();
   rts::Runtime rt({procs, workers});
   Forest<CountData, OctTreeType> forest(rt, testConfig());
   const std::size_t n = 400;
   forest.load(makeParticles(uniformCube(n, 31)));
   forest.decompose();
   forest.build();
-  forest.traverse<CoverageVisitor>({}, style);
+  forest.traverse<CoverageVisitor>({}, style, kernel);
   for (const auto& p : forest.collect()) {
     EXPECT_DOUBLE_EQ(p.density, static_cast<double>(n)) << "order " << p.order;
   }
 }
 
 TEST_P(TraversalCoverageTest, PruningStillCoversEveryPair) {
-  const auto [procs, workers, style] = GetParam();
+  const auto [procs, workers, style, kernel] = GetParam();
   rts::Runtime rt({procs, workers});
   Forest<CountData, OctTreeType> forest(rt, testConfig());
   const std::size_t n = 400;
   forest.load(makeParticles(uniformCube(n, 37)));
   forest.decompose();
   forest.build();
-  forest.traverse<PruningVisitor>({}, style);
+  forest.traverse<PruningVisitor>({}, style, kernel);
   for (const auto& p : forest.collect()) {
     EXPECT_DOUBLE_EQ(p.density, static_cast<double>(n)) << "order " << p.order;
   }
@@ -105,11 +106,15 @@ INSTANTIATE_TEST_SUITE_P(
     ProcGrid, TraversalCoverageTest,
     ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1, 2),
                        ::testing::Values(TraversalStyle::kTransposed,
-                                         TraversalStyle::kPerBucket)),
+                                         TraversalStyle::kPerBucket),
+                       ::testing::Values(EvalKernel::kVisitor,
+                                         EvalKernel::kBatched)),
     [](const auto& info) {
       const TraversalStyle s = std::get<2>(info.param);
+      const EvalKernel k = std::get<3>(info.param);
       return std::string(s == TraversalStyle::kTransposed ? "Transposed"
                                                           : "PerBucket") +
+             std::string(k == EvalKernel::kBatched ? "Batched" : "Visitor") +
              "_p" + std::to_string(std::get<0>(info.param)) + "_w" +
              std::to_string(std::get<1>(info.param));
     });
