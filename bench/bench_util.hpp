@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/interaction_list.hpp"
 #include "observability/instrumentation.hpp"
 #include "observability/report.hpp"
@@ -80,6 +81,44 @@ inline rts::FaultConfig stripChaosArgs(int& argc, char** argv) {
   }
   if (fault.enabled) fault.drain_deadline_ms = 30000.0;
   return fault;
+}
+
+/// Strip the checkpoint/crash flags and apply them to `conf`:
+///
+///   --checkpoint-every=K   double in-memory checkpoint after every K-th
+///                          iteration (0 disables; default off)
+///   --crash-at-step=N      kill one seeded rank mid-iteration N; with
+///                          checkpointing on the run recovers from the
+///                          newest sealed generation and resumes, without
+///                          it the crash surfaces as a thrown
+///                          QuiescenceTimeout diagnostic (never a hang)
+///   --recovery-mode=restart|shrink
+///                          restart the dead rank (default) or shrink the
+///                          run onto the survivors
+///   --drain-deadline-ms=T  watchdog deadline (crash-detection latency);
+///                          defaults to 30 s when a crash is scheduled
+///
+/// The crash victim and its task budget stay seeded (fault.seed, shared
+/// with --chaos-seed), so sweeps over seeds vary where the crash lands.
+inline void stripCheckpointArgs(int& argc, char** argv, Configuration& conf) {
+  std::string value;
+  if (stripFlagArg(argc, argv, "--checkpoint-every=", value)) {
+    conf.checkpoint_every = std::atoi(value.c_str());
+  }
+  if (stripFlagArg(argc, argv, "--crash-at-step=", value)) {
+    conf.fault.crash_step = std::atoi(value.c_str());
+  }
+  if (stripFlagArg(argc, argv, "--drain-deadline-ms=", value)) {
+    conf.fault.drain_deadline_ms = std::strtod(value.c_str(), nullptr);
+  }
+  if (stripFlagArg(argc, argv, "--recovery-mode=", value)) {
+    if (!fromString(value, conf.recovery_mode)) {
+      std::fprintf(stderr,
+                   "--recovery-mode= expects 'restart' or 'shrink', got '%s'\n",
+                   value.c_str());
+      std::exit(2);
+    }
+  }
 }
 
 /// Strip a `--kernel=visitor|batched` flag and return the selected

@@ -4,11 +4,19 @@
 // (kick-drift-kick) and reports energy conservation per step.
 //
 // Usage: gravity_sim [n_particles] [n_steps] [n_procs] [workers]
+//                    [--checkpoint-every=K] [--crash-at-step=N]
+//                    [--recovery-mode=restart|shrink] [--chaos-seed=<n>]
+//
+// --checkpoint-every / --crash-at-step exercise the rank-crash fault
+// tolerance: one seeded rank dies mid-iteration N and, with
+// checkpointing on, the run recovers from the newest sealed in-memory
+// checkpoint generation and resumes (README "Checkpoint / recovery").
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/gravity/gravity.hpp"
+#include "bench/bench_util.hpp"
 #include "core/driver.hpp"
 #include "util/timer.hpp"
 
@@ -19,8 +27,11 @@ class GravityMain : public Driver<CentroidData, OctTreeType> {
   int steps = 10;
   double dt = 1e-3;
   GravityParams params{0.7, 1e-3, 1.0, true};
+  /// Checkpoint/crash/fault knobs stripped from the CLI in main().
+  Configuration cli;
 
   void configure(Configuration& conf) override {
+    conf = cli;
     conf.num_iterations = steps;
     conf.tree_type = TreeType::eOct;
     conf.decomp_type = DecompType::eSfc;
@@ -63,6 +74,9 @@ class GravityMain : public Driver<CentroidData, OctTreeType> {
 };
 
 int main(int argc, char** argv) {
+  Configuration cli;
+  cli.fault = bench::stripChaosArgs(argc, argv);
+  bench::stripCheckpointArgs(argc, argv, cli);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
   const int steps = argc > 2 ? std::atoi(argv[2]) : 10;
   const int procs = argc > 3 ? std::atoi(argv[3]) : 2;
@@ -71,10 +85,19 @@ int main(int argc, char** argv) {
   rts::Runtime rt({procs, workers});
   GravityMain app;
   app.steps = steps;
+  app.cli = cli;
 
   std::printf("Barnes-Hut gravity: %zu particles (Plummer), %d steps, "
               "%d procs x %d workers\n",
               n, steps, procs, workers);
+  if (cli.checkpoint_every > 0) {
+    std::printf("checkpointing every %d step(s), recovery mode: %s\n",
+                cli.checkpoint_every, toString(cli.recovery_mode).c_str());
+  }
+  if (cli.fault.crash_step >= 0) {
+    std::printf("rank crash scheduled at step %d (victim rank %d)\n",
+                cli.fault.crash_step, cli.fault.crashVictim(procs));
+  }
   WallTimer timer;
   // A cold Plummer sphere (zero velocities): it contracts under its own
   // gravity, converting potential into kinetic energy.
@@ -88,5 +111,13 @@ int main(int argc, char** argv) {
   std::printf("last-iteration cache: %llu fetches, %llu nodes inserted\n",
               static_cast<unsigned long long>(stats.requests_sent),
               static_cast<unsigned long long>(stats.nodes_inserted));
+  if (cli.fault.crash_step >= 0) {
+    std::printf("rank crashes survived: %llu\n",
+                static_cast<unsigned long long>(rt.crashCount()));
+    if (rt.crashCount() == 0) {
+      std::fprintf(stderr, "expected a rank crash but none fired\n");
+      return 1;
+    }
+  }
   return 0;
 }

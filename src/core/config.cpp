@@ -55,6 +55,21 @@ bool fromString(const std::string& s, LbScheme& out) {
   return true;
 }
 
+std::string toString(RecoveryMode m) {
+  switch (m) {
+    case RecoveryMode::kRestart: return "restart";
+    case RecoveryMode::kShrink: return "shrink";
+  }
+  return "?";
+}
+
+bool fromString(const std::string& s, RecoveryMode& out) {
+  if (s == "restart") out = RecoveryMode::kRestart;
+  else if (s == "shrink") out = RecoveryMode::kShrink;
+  else return false;
+  return true;
+}
+
 std::string Configuration::validate() const {
   const auto bad = [](const std::string& field, long long value,
                       const std::string& why) {
@@ -84,6 +99,10 @@ std::string Configuration::validate() const {
   if (lb_period < 0) {
     return bad("lb_period", lb_period,
                "must be >= 0 (0 disables rebalancing)");
+  }
+  if (checkpoint_every < 0) {
+    return bad("checkpoint_every", checkpoint_every,
+               "must be >= 0 (0 disables checkpointing)");
   }
   if (auto err = fault.validate(); !err.empty()) {
     return "Configuration.fault." + err;

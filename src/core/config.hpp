@@ -41,6 +41,23 @@ enum class LbScheme {
 std::string toString(LbScheme s);
 bool fromString(const std::string& s, LbScheme& out);
 
+/// What the Driver does with a crashed rank after restoring the last
+/// checkpoint (README "Checkpoint / recovery").
+enum class RecoveryMode {
+  /// The dead rank rejoins blank and chare placement is unchanged — the
+  /// stand-in for Charm++ restarting the failed process on a spare node.
+  /// With the rank count restored the re-run is bitwise the fault-free run.
+  kRestart,
+  /// The dead rank stays dead; decomposition re-places all chares over
+  /// the surviving ranks (Charm++ restarting with fewer processors).
+  /// Physics then matches the fault-free run to accumulation-order
+  /// round-off (<= 1e-12 relative), not bitwise.
+  kShrink,
+};
+
+std::string toString(RecoveryMode m);
+bool fromString(const std::string& s, RecoveryMode& out);
+
 /// Run and performance parameters of a simulation, mirroring the paper's
 /// Configuration object (Section II.D.2). Applications fill this in
 /// Driver::configure().
@@ -79,6 +96,19 @@ struct Configuration {
   /// by default; Driver::run() applies it to the Runtime via
   /// configureFaults() when enabled (or when a drain deadline is set).
   rts::FaultConfig fault{};
+
+  // --- checkpoint / recovery (README "Checkpoint / recovery") ---------------
+  /// Double in-memory checkpoint cadence: after every checkpoint_every-th
+  /// completed iteration each rank commits its Partitions' particle state
+  /// to the CheckpointStore (own copy + buddy copy). 0 disables
+  /// checkpointing — a rank crash then surfaces as QuiescenceTimeout.
+  int checkpoint_every = 0;
+  /// How a crashed rank is treated after recovery.
+  RecoveryMode recovery_mode = RecoveryMode::kRestart;
+  /// When non-empty, every sealed checkpoint generation is also written
+  /// to this directory as an ordinary util/snapshot file
+  /// (checkpoint_<step>.snap), loadable later via input_file.
+  std::string checkpoint_dir;
 
   /// Bits per tree level implied by tree_type (3 for octrees, 1 for the
   /// binary trees).

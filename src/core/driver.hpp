@@ -2,12 +2,16 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "core/dispatch.hpp"
 #include "core/forest.hpp"
 #include "observability/instrumentation.hpp"
+#include "rts/checkpoint.hpp"
 #include "util/snapshot.hpp"
+#include "util/timer.hpp"
 
 namespace paratreet {
 
@@ -34,12 +38,24 @@ class Driver {
   /// Run the configured number of iterations over `particles`. When
   /// `particles` is empty and the Configuration names an input_file, the
   /// particles are loaded from that snapshot (paper Fig 8's
-  /// conf.input_file).
+  /// conf.input_file) and strictly validated — non-finite positions or
+  /// non-positive masses reject the run before anything is built.
   ///
   /// `instr` is the caller-owned instrumentation context (profiler,
   /// metrics registry, trace buffer — any subset); default is fully
   /// disabled. The Configuration is validated before anything runs;
   /// nonsensical values throw std::invalid_argument.
+  ///
+  /// Fault tolerance (Configuration checkpoint_every / fault.crash_*):
+  /// with checkpointing on, each rank double-buffers its particle state
+  /// into a CheckpointStore (own memory + buddy rank) after every K-th
+  /// iteration, plus a step -1 baseline right after the initial
+  /// decomposition. A rank crash surfaces as rts::QuiescenceTimeout from
+  /// the drain watchdog; run() then abandons the dead rank's traffic,
+  /// restores the newest sealed generation, re-decomposes over the
+  /// surviving (kShrink) or restarted (kRestart) ranks, and resumes from
+  /// the checkpointed iteration. With checkpointing off the timeout
+  /// propagates to the caller, carrying the crash diagnostic.
   void run(rts::Runtime& rt, std::vector<Particle> particles,
            Instrumentation instr = {}) {
     Configuration conf;
@@ -49,33 +65,109 @@ class Driver {
     }
     if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
     if (instr.trace != nullptr) rt.attachTrace(instr.trace);
-    if (conf.fault.enabled || conf.fault.drain_deadline_ms > 0.0) {
+    // A scheduled rank crash is only *detectable* through the drain
+    // watchdog, so arm it with a generous default when the app didn't.
+    if (conf.fault.crash_step >= 0 && conf.fault.drain_deadline_ms <= 0.0) {
+      conf.fault.drain_deadline_ms = 30000.0;
+    }
+    if (conf.fault.enabled || conf.fault.drain_deadline_ms > 0.0 ||
+        conf.fault.crash_step >= 0) {
       rt.configureFaults(conf.fault);
     }
     if (particles.empty() && !conf.input_file.empty()) {
-      particles = makeParticles(loadSnapshot(conf.input_file));
+      InitialConditions ic = loadSnapshot(conf.input_file);
+      validateInitialConditions(ic);
+      particles = makeParticles(ic);
     }
+
+    const bool ckpt_on = conf.checkpoint_every > 0;
+    rts::CheckpointStore store;
+    if (ckpt_on) store.init(&rt, instr.metrics);
+    obs::Gauge* ckpt_seconds = nullptr;
+    obs::Gauge* recovery_seconds = nullptr;
+    if (instr.metrics != nullptr) {
+      // Registered up front so fault-free reports still show the
+      // checkpoint/recovery instruments, pinned at zero.
+      instr.metrics->counter("checkpoint.bytes");
+      ckpt_seconds = &instr.metrics->gauge("checkpoint.seconds");
+      recovery_seconds = &instr.metrics->gauge("recovery.seconds");
+    }
+
     forest_ = std::make_unique<Forest<Data, TreeTypeT>>(rt, conf, instr);
     forest_->load(std::move(particles));
     forest_->decompose();
-    for (int iter = 0; iter < conf.num_iterations; ++iter) {
-      obs::TraceSpan span(instr.trace, "iteration", "driver");
-      forest_->build();
-      traversal(iter);
-      postTraversal(iter);
-      // Periodic measured-load rebalancing (paper Section II.D.1/2: the
-      // "load balancing period" run parameter).
-      if (conf.lb_period > 0 && conf.lb_scheme != LbScheme::kNone &&
-          (iter + 1) % conf.lb_period == 0) {
-        if (conf.lb_scheme == LbScheme::kSfc) {
-          SfcLoadBalancer lb;
-          forest_->rebalance(lb);
-        } else {
-          GreedyLoadBalancer lb;
-          forest_->rebalance(lb);
+    if (ckpt_on) {
+      // Step -1 baseline: the freshly decomposed Subtrees hold the only
+      // per-rank copy, so a crash in the very first iteration recovers
+      // to the initial conditions instead of failing unrecoverably.
+      checkpoint(store, conf, instr, -1, /*from_subtrees=*/true, ckpt_seconds);
+    }
+
+    // A scheduled crash fires exactly once, even though recovery may
+    // rewind `iter` back across fault.crash_step.
+    bool crash_armed = false;
+    int iter = 0;
+    while (iter < conf.num_iterations) {
+      try {
+        if (!crash_armed && conf.fault.crash_step >= 0 &&
+            iter == conf.fault.crash_step) {
+          crash_armed = true;
+          rt.scheduleCrash(conf.fault.crashVictim(rt.numProcs()),
+                           conf.fault.crashTaskBudget());
         }
+        {
+          obs::TraceSpan span(instr.trace, "iteration", "driver");
+          forest_->build();
+          traversal(iter);
+          postTraversal(iter);
+          // Periodic measured-load rebalancing (paper Section II.D.1/2:
+          // the "load balancing period" run parameter).
+          if (conf.lb_period > 0 && conf.lb_scheme != LbScheme::kNone &&
+              (iter + 1) % conf.lb_period == 0) {
+            if (conf.lb_scheme == LbScheme::kSfc) {
+              SfcLoadBalancer lb;
+              forest_->rebalance(lb);
+            } else {
+              GreedyLoadBalancer lb;
+              forest_->rebalance(lb);
+            }
+          }
+        }
+        // Checkpoint the completed iteration before flush() perturbs the
+        // Partitions: the buckets equal collect() here, so a restore
+        // reproduces exactly what flush() would have seen.
+        if (ckpt_on && (iter + 1) % conf.checkpoint_every == 0 &&
+            iter + 1 < conf.num_iterations) {
+          checkpoint(store, conf, instr, iter, /*from_subtrees=*/false,
+                     ckpt_seconds);
+        }
+        if (iter + 1 < conf.num_iterations) forest_->flush();
+        ++iter;
+      } catch (const rts::QuiescenceTimeout&) {
+        const std::vector<int> dead = rt.crashedRanks();
+        if (dead.empty() || !ckpt_on) {
+          // A genuine hang (or a crash with checkpointing disabled):
+          // nothing to recover from — surface the diagnostic.
+          if (instr.metrics != nullptr) rt.attachMetrics(nullptr);
+          if (instr.trace != nullptr) rt.attachTrace(nullptr);
+          throw;
+        }
+        WallTimer timer;
+        obs::TraceSpan span(instr.trace, "recovery", "driver");
+        const bool restart = conf.recovery_mode == RecoveryMode::kRestart;
+        rt.recoverCrashedRanks(restart);
+        forest_->abortTraversals();
+        for (const int r : dead) store.markLost(r);
+        const int step = store.latestRestorableStep();
+        if (step == rts::CheckpointStore::kNoStep) {
+          throw std::runtime_error(
+              "rank crash unrecoverable: no sealed checkpoint generation "
+              "covers every rank (adjacent-rank double failure?)");
+        }
+        forest_->restoreFromChunks(store.assemble(step));
+        iter = step + 1;
+        if (recovery_seconds != nullptr) recovery_seconds->add(timer.seconds());
       }
-      if (iter + 1 < conf.num_iterations) forest_->flush();
     }
     if (instr.metrics != nullptr) rt.attachMetrics(nullptr);
     if (instr.trace != nullptr) rt.attachTrace(nullptr);
@@ -114,6 +206,49 @@ class Driver {
   }
 
  private:
+  /// One checkpoint generation: gather + commit on every live rank,
+  /// drain out the buddy copies, seal. A crash mid-checkpoint throws out
+  /// of checkpointTo()'s drain before seal() — the half-written
+  /// generation is then ignored by recovery.
+  void checkpoint(rts::CheckpointStore& store, const Configuration& conf,
+                  const Instrumentation& instr, int step, bool from_subtrees,
+                  obs::Gauge* seconds) {
+    obs::TraceSpan span(instr.trace, "checkpoint", "driver");
+    WallTimer timer;
+    forest_->checkpointTo(store, step, from_subtrees);
+    store.seal(step);
+    if (!conf.checkpoint_dir.empty()) {
+      writeCheckpointSnapshot(store, conf.checkpoint_dir, step);
+    }
+    if (seconds != nullptr) seconds->add(timer.seconds());
+  }
+
+  /// Optional on-disk variant: assemble the sealed generation and write
+  /// it as an ordinary util/snapshot file (checkpoint_<step>.snap),
+  /// loadable later through conf.input_file.
+  static void writeCheckpointSnapshot(const rts::CheckpointStore& store,
+                                      const std::string& dir, int step) {
+    std::vector<Particle> all;
+    for (const auto& chunk : store.assemble(step)) {
+      auto decoded = deserializeCheckpointChunk(chunk);
+      all.insert(all.end(), decoded.second.begin(), decoded.second.end());
+    }
+    InitialConditions ic;
+    ic.positions.resize(all.size());
+    ic.velocities.resize(all.size());
+    ic.masses.resize(all.size());
+    ic.radii.resize(all.size());
+    for (const auto& p : all) {
+      const auto i = static_cast<std::size_t>(p.order);
+      if (i >= all.size()) continue;  // restore validates; keep the writer lax
+      ic.positions[i] = p.position;
+      ic.velocities[i] = p.velocity;
+      ic.masses[i] = p.mass;
+      ic.radii[i] = p.ball_radius;
+    }
+    saveSnapshot(dir + "/checkpoint_" + std::to_string(step) + ".snap", ic);
+  }
+
   std::unique_ptr<Forest<Data, TreeTypeT>> forest_;
 };
 

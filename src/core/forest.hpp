@@ -21,6 +21,7 @@
 #include "core/traversal.hpp"
 #include "decomp/decomposition.hpp"
 #include "observability/instrumentation.hpp"
+#include "rts/checkpoint.hpp"
 #include "rts/profiler.hpp"
 #include "rts/runtime.hpp"
 #include "tree/tree_types.hpp"
@@ -116,6 +117,13 @@ class Forest {
   void decompose() {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "decompose", "phase");
+    // Chares are placed over the *live* ranks only: on a fault-free run
+    // this is every rank (placeOf degenerates to the plain block map),
+    // after a shrink recovery the dead ranks drop out.
+    live_procs_ = rt_.liveProcs();
+    if (live_procs_.empty()) {
+      throw std::runtime_error("Forest::decompose: no live processes");
+    }
     universe_ = OrientedBox{};
     for (const auto& p : particles_) universe_.grow(p.position);
     // Pad so particles on the boundary stay strictly inside (keys clamp).
@@ -136,8 +144,13 @@ class Forest {
     assert(static_cast<int>(regions.size()) == n_subtrees);
 
     partitions_.clear();
-    const bool keep_placement =
+    bool keep_placement =
         static_cast<int>(placement_override_.size()) == n_parts;
+    // A measured-load placement naming a dead rank is stale; fall back to
+    // block placement over the survivors.
+    for (const int proc : placement_override_) {
+      if (keep_placement && !rt_.rankAlive(proc)) keep_placement = false;
+    }
     for (int i = 0; i < n_parts; ++i) {
       auto part = std::make_unique<Partition<Data>>();
       part->index = i;
@@ -208,6 +221,7 @@ class Forest {
     for (const auto& st : subtrees_) records.push_back(st->rootRecord());
     const std::size_t bytes = records.size() * sizeof(RootRecord<Data>);
     for (int p = 0; p < rt_.numProcs(); ++p) {
+      if (!rt_.rankAlive(p)) continue;
       rt_.send(0, p, p == 0 ? 0 : bytes, [this, p, records] {
         rts::ActivityScope scope(instr_.profiler, rts::Activity::kTreeBuild);
         caches_[static_cast<std::size_t>(p)].buildUpperTree(records, universe_);
@@ -227,7 +241,7 @@ class Forest {
           auto block = std::make_shared<ResponseBlock<Data>>(
               serializeRegion(st->root, levels));
           for (int p = 0; p < rt_.numProcs(); ++p) {
-            if (p == st->home_proc) continue;
+            if (p == st->home_proc || !rt_.rankAlive(p)) continue;
             rt_.send(st->home_proc, p, block->byteSize(), [this, p, block] {
               rts::ActivityScope insert_scope(instr_.profiler,
                                               rts::Activity::kTreeBuild);
@@ -270,19 +284,23 @@ class Forest {
                 EvalKernel kernel = EvalKernel::kVisitor) {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "traverse.top_down", "traversal");
-    std::vector<std::unique_ptr<TraverserBase>> traversers;
-    traversers.reserve(partitions_.size());
+    // Traversers live in a member, not a local: if the drain watchdog
+    // throws (rank crash), stale resume closures still queued on live
+    // ranks must keep pointing at live traversers until abortTraversals().
+    active_traversers_.clear();
+    active_traversers_.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<TopDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
           visitor, style, kernel, instr_);
       auto* raw = trav.get();
-      traversers.push_back(std::move(trav));
+      active_traversers_.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
-    finishTraversers(traversers);
+    finishTraversers(active_traversers_);
+    active_traversers_.clear();
     {
       const double seconds = timer.seconds();
       times_.traverse += seconds;
@@ -299,19 +317,20 @@ class Forest {
                          EvalKernel kernel = EvalKernel::kVisitor) {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "traverse.up_and_down", "traversal");
-    std::vector<std::unique_ptr<TraverserBase>> traversers;
-    traversers.reserve(partitions_.size());
+    active_traversers_.clear();
+    active_traversers_.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<UpAndDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
           visitor, kernel, instr_);
       auto* raw = trav.get();
-      traversers.push_back(std::move(trav));
+      active_traversers_.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
-    finishTraversers(traversers);
+    finishTraversers(active_traversers_);
+    active_traversers_.clear();
     {
       const double seconds = timer.seconds();
       times_.traverse += seconds;
@@ -325,18 +344,19 @@ class Forest {
   void traverseDualTree(V visitor = {}) {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "traverse.dual_tree", "traversal");
-    std::vector<std::unique_ptr<TraverserBase>> traversers;
-    traversers.reserve(partitions_.size());
+    active_traversers_.clear();
+    active_traversers_.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<DualTreeTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
           visitor, instr_.profiler);
       auto* raw = trav.get();
-      traversers.push_back(std::move(trav));
+      active_traversers_.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
+    active_traversers_.clear();
     {
       const double seconds = timer.seconds();
       times_.traverse += seconds;
@@ -351,18 +371,19 @@ class Forest {
   void traversePriority(V visitor = {}) {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "traverse.priority", "traversal");
-    std::vector<std::unique_ptr<TraverserBase>> traversers;
-    traversers.reserve(partitions_.size());
+    active_traversers_.clear();
+    active_traversers_.reserve(partitions_.size());
     for (auto& pp : partitions_) {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<PriorityTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
           visitor, instr_.profiler);
       auto* raw = trav.get();
-      traversers.push_back(std::move(trav));
+      active_traversers_.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
     }
     rt_.drain();
+    active_traversers_.clear();
     {
       const double seconds = timer.seconds();
       times_.traverse += seconds;
@@ -458,6 +479,109 @@ class Forest {
     decompose();
   }
 
+  /// Commit one checkpoint generation (step `step`) to the store: each
+  /// live rank gathers the particles it owns and commits a serialized
+  /// chunk; the store ships the buddy copy as message traffic, which the
+  /// drain here waits out. The caller seals the step afterwards — a crash
+  /// mid-checkpoint leaves the generation unsealed and recovery falls
+  /// back to the previous one.
+  ///
+  /// `from_subtrees` gathers from the Subtrees' intake particles (the
+  /// only per-rank copy right after decompose(), used for the step -1
+  /// baseline); otherwise from the Partitions' writable buckets, whose
+  /// union equals collect() — so restoring reproduces the flush() input
+  /// state exactly.
+  void checkpointTo(rts::CheckpointStore& store, int step,
+                    bool from_subtrees) {
+    for (const int r : rt_.liveProcs()) {
+      rt_.enqueue(r, [this, &store, step, r, from_subtrees] {
+        std::vector<Particle> owned;
+        if (from_subtrees) {
+          for (const auto& st : subtrees_) {
+            if (st->home_proc == r) st->appendParticlesTo(owned);
+          }
+        } else {
+          for (const auto& pp : partitions_) {
+            if (pp->home_proc == r) pp->appendParticlesTo(owned);
+          }
+        }
+        store.commit(r, step, serializeCheckpointChunk(step, r, owned));
+      });
+    }
+    rt_.drain();
+  }
+
+  /// Drop the state of a traversal aborted by a rank crash: the paused
+  /// traversers (kept alive across the watchdog throw so stale resume
+  /// closures stayed valid) and any recorded interaction lists. Call only
+  /// after Runtime::recoverCrashedRanks() settled the system — from that
+  /// point nothing queued references them.
+  void abortTraversals() {
+    active_traversers_.clear();
+    for (auto& pp : partitions_) {
+      pp->interaction_lists.clear();
+    }
+  }
+
+  /// Rebuild the particle set from an assembled checkpoint generation and
+  /// re-run decomposition over the (possibly shrunken) live ranks. The
+  /// result is exactly the fault-free state at the start of the step
+  /// after the checkpoint: the gathered buckets equal collect(), and the
+  /// output clearing below mirrors flush(). The next build() re-creates
+  /// every cache from scratch, which is the recovery's cache
+  /// invalidation.
+  void restoreFromChunks(const std::vector<std::vector<std::byte>>& chunks) {
+    std::vector<Particle> restored;
+    std::vector<char> seen;
+    std::size_t total = 0;
+    for (const auto& chunk : chunks) {
+      auto decoded = deserializeCheckpointChunk(chunk);
+      auto& particles = decoded.second;
+      total += particles.size();
+      for (auto& p : particles) {
+        const auto idx = static_cast<std::size_t>(p.order);
+        if (p.order < 0) {
+          throw std::runtime_error(
+              "checkpoint restore: particle with negative order");
+        }
+        if (idx >= restored.size()) {
+          restored.resize(idx + 1);
+          seen.resize(idx + 1, 0);
+        }
+        if (seen[idx] != 0) {
+          throw std::runtime_error(
+              "checkpoint restore: particle order " + std::to_string(idx) +
+              " present in two chunks");
+        }
+        seen[idx] = 1;
+        restored[idx] = p;
+      }
+    }
+    if (total != restored.size()) {
+      throw std::runtime_error(
+          "checkpoint restore: chunks hold " + std::to_string(total) +
+          " particle(s) but orders span " + std::to_string(restored.size()));
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] == 0) {
+        throw std::runtime_error("checkpoint restore: particle order " +
+                                 std::to_string(i) + " missing");
+      }
+    }
+    particles_ = std::move(restored);
+    for (auto& p : particles_) {
+      p.acceleration = Vec3{};
+      p.potential = 0.0;
+      p.density = 0.0;
+      p.pressure = 0.0;
+      p.collision_partner = -1;
+      p.collision_time = 0.0;
+      p.neighbor_count = 0;
+      p.ball2 = 0.0;
+    }
+    decompose();
+  }
+
   /// Sum cache statistics across processes (after a traversal).
   typename CacheManager<Data>::StatsSnapshot cacheStatsTotal() const {
     typename CacheManager<Data>::StatsSnapshot total;
@@ -503,10 +627,12 @@ class Forest {
         .add(seconds);
   }
 
-  /// Block placement of chare `i` of `n` onto processes.
+  /// Block placement of chare `i` of `n` onto the live processes (all of
+  /// them on a fault-free run — then this is i * procs / n exactly).
   int placeOf(int i, int n) const {
-    const int procs = rt_.numProcs();
-    return static_cast<int>(static_cast<long>(i) * procs / n);
+    const int nlive = static_cast<int>(live_procs_.size());
+    return live_procs_[static_cast<std::size_t>(
+        static_cast<long>(i) * nlive / n)];
   }
 
   /// Share one Subtree's leaves with the Partitions its particles belong
@@ -565,6 +691,11 @@ class Forest {
   PhaseTimes times_{};
   std::atomic<std::size_t> split_buckets_{0};
   std::vector<int> placement_override_;
+  /// Ranks chares may be placed on; refreshed by decompose().
+  std::vector<int> live_procs_;
+  /// The running (or crash-aborted) traversal's traversers; see
+  /// traverse() and abortTraversals() for the lifetime contract.
+  std::vector<std::unique_ptr<TraverserBase>> active_traversers_;
 };
 
 }  // namespace paratreet

@@ -88,6 +88,15 @@ struct Partition {
       for (auto& p : b.particles) fn(p);
     }
   }
+
+  /// Checkpoint hook: append this Partition's writable particle copies —
+  /// the authoritative post-traversal state — to `out`, in bucket order.
+  /// Runs on the home process after quiescence (no concurrent writers).
+  void appendParticlesTo(std::vector<Particle>& out) const {
+    for (const auto& b : buckets) {
+      out.insert(out.end(), b.particles.begin(), b.particles.end());
+    }
+  }
 };
 
 }  // namespace paratreet

@@ -1,6 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "tree/node.hpp"
@@ -102,6 +107,66 @@ ResponseBlock<Data> serializeRegion(const Node<Data>* from, int fetch_depth) {
     block.records.push_back(rec);
   }
   return block;
+}
+
+/// Wire header of one rank's checkpoint chunk: the opaque payload the
+/// rts::CheckpointStore double-buffers in the owner's and the buddy's
+/// memory. As with ResponseBlock, "serialization" is a flat copy and the
+/// byte count is what a real buddy-rank checkpoint would put on the wire.
+struct CheckpointChunkHeader {
+  static constexpr std::uint32_t kMagic = 0x5054434bu;  // "PTCK"
+  std::uint32_t magic = kMagic;
+  std::int32_t step = 0;
+  std::int32_t rank = 0;
+  std::uint64_t count = 0;
+};
+
+inline std::vector<std::byte> serializeCheckpointChunk(
+    int step, int rank, const std::vector<Particle>& particles) {
+  CheckpointChunkHeader header;
+  header.step = step;
+  header.rank = rank;
+  header.count = particles.size();
+  std::vector<std::byte> bytes(sizeof(header) +
+                               particles.size() * sizeof(Particle));
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  if (!particles.empty()) {
+    std::memcpy(bytes.data() + sizeof(header), particles.data(),
+                particles.size() * sizeof(Particle));
+  }
+  return bytes;
+}
+
+/// Decode a checkpoint chunk, validating the magic and that the header's
+/// particle count matches the actual byte length exactly — a truncated or
+/// oversized chunk is corrupt state and must fail recovery loudly.
+inline std::pair<CheckpointChunkHeader, std::vector<Particle>>
+deserializeCheckpointChunk(const std::vector<std::byte>& bytes) {
+  CheckpointChunkHeader header;
+  if (bytes.size() < sizeof(header)) {
+    throw std::runtime_error(
+        "checkpoint chunk corrupt: " + std::to_string(bytes.size()) +
+        " byte(s), smaller than the chunk header");
+  }
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != CheckpointChunkHeader::kMagic) {
+    throw std::runtime_error("checkpoint chunk corrupt: bad magic");
+  }
+  const std::size_t expected =
+      sizeof(header) + header.count * sizeof(Particle);
+  if (bytes.size() != expected) {
+    throw std::runtime_error(
+        "checkpoint chunk corrupt: header claims " +
+        std::to_string(header.count) + " particle(s) (" +
+        std::to_string(expected) + " bytes) but chunk holds " +
+        std::to_string(bytes.size()) + " bytes");
+  }
+  std::vector<Particle> particles(header.count);
+  if (header.count != 0) {
+    std::memcpy(particles.data(), bytes.data() + sizeof(header),
+                particles.size() * sizeof(Particle));
+  }
+  return {header, std::move(particles)};
 }
 
 /// The root summary of one Subtree, broadcast to every process after tree

@@ -38,6 +38,13 @@ struct Subtree {
                               region.key, region.box, region.depth, opts);
   }
 
+  /// Checkpoint hook: append this Subtree's intake particles to `out`.
+  /// Right after decompose() the Subtrees hold the only per-rank copy of
+  /// the particle set, so the step -1 baseline checkpoint gathers here.
+  void appendParticlesTo(std::vector<Particle>& out) const {
+    out.insert(out.end(), particles.begin(), particles.end());
+  }
+
   /// The root summary broadcast to every process after the build.
   RootRecord<Data> rootRecord() const {
     RootRecord<Data> rec;

@@ -1,0 +1,193 @@
+#include "rts/checkpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "rts/runtime.hpp"
+
+namespace paratreet::rts {
+
+void CheckpointStore::init(Runtime* rt, obs::MetricsRegistry* metrics) {
+  rt_ = rt;
+  memory_.clear();
+  memory_.reserve(static_cast<std::size_t>(rt->numProcs()));
+  for (int p = 0; p < rt->numProcs(); ++p) {
+    memory_.push_back(std::make_unique<RankMemory>());
+  }
+  {
+    std::lock_guard lock(seal_mutex_);
+    sealed_.clear();
+  }
+  if (metrics != nullptr) {
+    bytes_metric_ = &metrics->counter("checkpoint.bytes");
+  }
+}
+
+int CheckpointStore::buddyOf(int rank) const {
+  const int n = static_cast<int>(memory_.size());
+  for (int step = 1; step < n; ++step) {
+    const int candidate = (rank + step) % n;
+    if (rt_->rankAlive(candidate)) return candidate;
+  }
+  return rank;
+}
+
+void CheckpointStore::keepLastTwo(std::vector<Chunk>& gens, Chunk chunk) {
+  // Replace a same-step chunk (re-commit after a partial checkpoint),
+  // else append and trim to the two newest steps.
+  for (auto& g : gens) {
+    if (g.step == chunk.step) {
+      g = std::move(chunk);
+      return;
+    }
+  }
+  gens.push_back(std::move(chunk));
+  std::sort(gens.begin(), gens.end(),
+            [](const Chunk& a, const Chunk& b) { return a.step < b.step; });
+  while (gens.size() > 2) gens.erase(gens.begin());
+}
+
+const CheckpointStore::Chunk* CheckpointStore::find(
+    const std::vector<Chunk>& gens, int step) {
+  for (const auto& g : gens) {
+    if (g.step == step) return &g;
+  }
+  return nullptr;
+}
+
+void CheckpointStore::commit(int rank, int step,
+                             std::vector<std::byte> bytes) {
+  const std::uint64_t size = static_cast<std::uint64_t>(bytes.size());
+  const int buddy = buddyOf(rank);
+  auto& mem = *memory_[static_cast<std::size_t>(rank)];
+  {
+    std::lock_guard lock(mem.mutex);
+    mem.lost = false;  // a committing rank evidently has working memory
+    keepLastTwo(mem.own, Chunk{step, bytes});
+  }
+  bytes_stored_.fetch_add(size, std::memory_order_relaxed);
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  if (bytes_metric_ != nullptr) bytes_metric_->add(size);
+  if (buddy != rank) {
+    // Ship the second copy; modeled as ordinary message traffic so the
+    // checkpoint's communication volume shows up in rts.message_bytes.
+    auto copy = std::move(bytes);
+    rt_->send(rank, buddy, copy.size(),
+              [this, buddy, rank, step, c = std::move(copy)]() mutable {
+                storeHeld(buddy, rank, step, std::move(c));
+              });
+  }
+}
+
+void CheckpointStore::storeHeld(int holder, int owner, int step,
+                                std::vector<std::byte> b) {
+  auto& mem = *memory_[static_cast<std::size_t>(holder)];
+  std::lock_guard lock(mem.mutex);
+  keepLastTwo(mem.held[owner], Chunk{step, std::move(b)});
+}
+
+void CheckpointStore::seal(int step) {
+  std::lock_guard lock(seal_mutex_);
+  if (std::find(sealed_.begin(), sealed_.end(), step) != sealed_.end()) {
+    return;
+  }
+  sealed_.push_back(step);
+  std::sort(sealed_.begin(), sealed_.end());
+  while (sealed_.size() > 2) sealed_.erase(sealed_.begin());
+}
+
+bool CheckpointStore::sealed(int step) const {
+  std::lock_guard lock(seal_mutex_);
+  return std::find(sealed_.begin(), sealed_.end(), step) != sealed_.end();
+}
+
+void CheckpointStore::markLost(int rank) {
+  auto& mem = *memory_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(mem.mutex);
+  mem.own.clear();
+  mem.held.clear();
+  mem.lost = true;
+}
+
+int CheckpointStore::latestRestorableStep() const {
+  std::vector<int> candidates;
+  {
+    std::lock_guard lock(seal_mutex_);
+    candidates = sealed_;
+  }
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    const int step = *it;
+    bool complete = true;
+    for (int r = 0; r < static_cast<int>(memory_.size()) && complete; ++r) {
+      auto& mem = *memory_[static_cast<std::size_t>(r)];
+      bool covered = false;
+      {
+        std::lock_guard lock(mem.mutex);
+        covered = !mem.lost && find(mem.own, step) != nullptr;
+      }
+      if (!covered) {
+        // Fall back to a buddy copy in any surviving rank's memory.
+        for (std::size_t h = 0; h < memory_.size() && !covered; ++h) {
+          auto& held_mem = *memory_[h];
+          std::lock_guard lock(held_mem.mutex);
+          if (held_mem.lost) continue;
+          const auto found = held_mem.held.find(r);
+          covered = found != held_mem.held.end() &&
+                    find(found->second, step) != nullptr;
+        }
+      }
+      complete = covered;
+    }
+    if (complete) return step;
+  }
+  return kNoStep;
+}
+
+std::vector<std::vector<std::byte>> CheckpointStore::assemble(
+    int step) const {
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(memory_.size());
+  for (int r = 0; r < static_cast<int>(memory_.size()); ++r) {
+    auto& mem = *memory_[static_cast<std::size_t>(r)];
+    {
+      std::lock_guard lock(mem.mutex);
+      if (!mem.lost) {
+        if (const Chunk* c = find(mem.own, step)) {
+          out.push_back(c->bytes);
+          continue;
+        }
+      }
+    }
+    bool recovered = false;
+    for (std::size_t h = 0; h < memory_.size() && !recovered; ++h) {
+      auto& held_mem = *memory_[h];
+      std::lock_guard lock(held_mem.mutex);
+      if (held_mem.lost) continue;
+      const auto found = held_mem.held.find(r);
+      if (found == held_mem.held.end()) continue;
+      if (const Chunk* c = find(found->second, step)) {
+        out.push_back(c->bytes);
+        recovered = true;
+      }
+    }
+    if (!recovered) {
+      throw std::runtime_error(
+          "CheckpointStore::assemble: rank " + std::to_string(r) +
+          " has no surviving copy of step " + std::to_string(step) +
+          " (neither its own memory nor any buddy)");
+    }
+  }
+  return out;
+}
+
+std::uint64_t CheckpointStore::bytesStored() const {
+  return bytes_stored_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CheckpointStore::commits() const {
+  return commits_.load(std::memory_order_relaxed);
+}
+
+}  // namespace paratreet::rts

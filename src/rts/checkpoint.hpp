@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "observability/metrics.hpp"
+
+namespace paratreet::rts {
+
+class Runtime;
+
+/// Charm++-style double in-memory checkpointing (Zheng, Shi & Kalé):
+/// after every K-th step each rank serializes its application state into
+/// an opaque byte chunk and commits it here — one copy stays in the
+/// owner's memory, a second is shipped to a *buddy* rank (the next live
+/// rank, ring order). When a rank dies its own copies die with it
+/// (markLost() models the memory loss), but the buddy still holds the
+/// chunk, so the full system state of the last sealed generation remains
+/// reconstructible as long as no two adjacent ranks fail together.
+///
+/// The store is byte-generic: it never looks inside a chunk. Particle
+/// encoding/decoding lives with the forest (core/serialization.hpp).
+///
+/// Generation protocol: commits for step S may land in any order from
+/// any rank's worker; the orchestrator calls seal(S) only after a
+/// successful drain, i.e. every local slot and every buddy copy of S is
+/// in place. A crash mid-checkpoint simply never seals S, and recovery
+/// falls back to the previous sealed generation (the last two are kept).
+class CheckpointStore {
+ public:
+  /// Step label for "no restorable generation".
+  static constexpr int kNoStep = std::numeric_limits<int>::min();
+
+  CheckpointStore() = default;
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Bind to a runtime (for buddy placement + the copy send) and
+  /// optionally a metrics registry: checkpoint.bytes is registered
+  /// immediately so fault-free reports still show it, pinned at zero.
+  void init(Runtime* rt, obs::MetricsRegistry* metrics);
+
+  /// The next live rank after `rank` in ring order (self when it is the
+  /// only live rank — then no second copy exists and a crash of that
+  /// rank is unrecoverable, as in the real protocol).
+  int buddyOf(int rank) const;
+
+  /// Commit one rank's chunk for step `step`. Called on that rank's
+  /// worker: the local slot is written synchronously and a copy is sent
+  /// to the buddy (counted by the runtime as ordinary message traffic).
+  /// The caller's drain() covers the buddy copy's delivery.
+  void commit(int rank, int step, std::vector<std::byte> bytes);
+
+  /// Declare generation `step` complete. Call only after a successful
+  /// drain following the commits. Keeps the last two sealed generations.
+  void seal(int step);
+
+  /// Model the memory loss of a dead rank: wipes everything stored in
+  /// its memory — its own chunks and the buddy copies it held for others.
+  void markLost(int rank);
+
+  /// Newest sealed step restorable given the lost ranks: every rank must
+  /// have either its own chunk (surviving ranks) or a buddy copy held by
+  /// a surviving rank. kNoStep when no generation qualifies.
+  int latestRestorableStep() const;
+
+  /// Gather the per-rank chunks of sealed generation `step`, preferring
+  /// each rank's own copy and falling back to a buddy copy. Throws
+  /// std::runtime_error when a rank's chunk is unrecoverable.
+  std::vector<std::vector<std::byte>> assemble(int step) const;
+
+  bool sealed(int step) const;
+  std::uint64_t bytesStored() const;
+  std::uint64_t commits() const;
+
+ private:
+  struct Chunk {
+    int step = kNoStep;
+    std::vector<std::byte> bytes;
+  };
+  /// Everything resident in one rank's memory. `own` holds the rank's
+  /// last two chunks; `held` the buddy copies it keeps for other ranks
+  /// (keyed by owner), also two generations deep.
+  struct RankMemory {
+    mutable std::mutex mutex;
+    std::vector<Chunk> own;
+    std::map<int, std::vector<Chunk>> held;
+    bool lost = false;
+  };
+
+  /// Runs on the buddy's worker when the copy message arrives.
+  void storeHeld(int holder, int owner, int step, std::vector<std::byte> b);
+  static void keepLastTwo(std::vector<Chunk>& gens, Chunk chunk);
+  static const Chunk* find(const std::vector<Chunk>& gens, int step);
+
+  Runtime* rt_ = nullptr;
+  std::vector<std::unique_ptr<RankMemory>> memory_;
+  mutable std::mutex seal_mutex_;
+  std::vector<int> sealed_;  // ascending, at most the last two
+
+  obs::Counter* bytes_metric_ = nullptr;
+  std::atomic<std::uint64_t> bytes_stored_{0};
+  std::atomic<std::uint64_t> commits_{0};
+};
+
+}  // namespace paratreet::rts

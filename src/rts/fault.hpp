@@ -21,10 +21,24 @@ enum class FaultKind : int {
   kReorder,    ///< message copy overtaken by later traffic (extra skew)
   kFetchFail,  ///< home process fails to serve a cache-fill payload
   kStall,      ///< worker stalls for stall_us before its next task
+  kCrash,      ///< a whole logical rank dies mid-step (node failure)
 };
-inline constexpr std::size_t kNumFaultKinds = 6;
+inline constexpr std::size_t kNumFaultKinds = 7;
 inline constexpr std::array<const char*, kNumFaultKinds> kFaultKindNames = {
-    "drop", "duplicate", "delay", "reorder", "fetch_fail", "stall"};
+    "drop", "duplicate", "delay", "reorder", "fetch_fail", "stall", "crash"};
+
+namespace detail {
+
+/// Shared scramble behind every seeded fault decision (and the crash
+/// victim/budget picks below).
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
 
 /// Seeded fault schedule + resilience knobs. Everything is off by
 /// default: with `enabled == false` the runtime's send/dispatch paths are
@@ -63,6 +77,33 @@ struct FaultConfig {
   /// Failed cache fills re-requested this many times before the cache
   /// degrades to a synchronous direct read of the owning subtree.
   int max_fetch_retries = 3;
+
+  // --- rank crash (whole-process failure) ----------------------------------
+  /// Iteration at which one logical rank dies (-1 = never). Unlike the
+  /// probabilistic kinds above this is armed explicitly by the driver:
+  /// at the start of iteration `crash_step` the victim rank's workers
+  /// stop executing after a seeded number of further tasks, so the crash
+  /// lands mid-step at a deterministic task boundary. Works even with
+  /// `enabled == false`, like the drain watchdog.
+  int crash_step = -1;
+  /// Victim rank, or -1 to derive it from the seed.
+  int crash_rank = -1;
+  /// Tasks the victim still executes after arming before it dies, or -1
+  /// to derive a small seeded budget (so the crash lands mid-build or
+  /// mid-traversal rather than at a phase boundary).
+  int crash_after_tasks = -1;
+
+  /// The rank that dies, resolved against the actual rank count.
+  int crashVictim(int n_procs) const {
+    if (crash_rank >= 0) return crash_rank % n_procs;
+    return static_cast<int>(detail::splitmix64(seed ^ 0xc7a5u) %
+                            static_cast<std::uint64_t>(n_procs));
+  }
+  /// How many more tasks the victim executes before dying.
+  int crashTaskBudget() const {
+    if (crash_after_tasks >= 0) return crash_after_tasks;
+    return 1 + static_cast<int>(detail::splitmix64(seed ^ 0x5eedu) % 48u);
+  }
 
   // --- watchdog ------------------------------------------------------------
   /// When > 0, Runtime::drain() throws QuiescenceTimeout with a full
@@ -108,6 +149,11 @@ struct FaultConfig {
     }
     if (max_fetch_retries < 0) return "max_fetch_retries must be >= 0";
     if (drain_deadline_ms < 0.0) return "drain_deadline_ms must be >= 0";
+    if (crash_step < -1) return "crash_step must be >= -1 (-1 = never)";
+    if (crash_rank < -1) return "crash_rank must be >= -1 (-1 = seeded)";
+    if (crash_after_tasks < -1) {
+      return "crash_after_tasks must be >= -1 (-1 = seeded)";
+    }
     return {};
   }
 };
@@ -194,6 +240,10 @@ class FaultInjector {
     return true;
   }
 
+  /// Record an externally-triggered fault (e.g. a rank crash the runtime
+  /// arms itself) so counts()/totalInjected() stay authoritative.
+  void record(FaultKind k) { bump(k); }
+
   /// Stable id for one logical cache fetch (spans its retries).
   std::uint64_t nextFetchId() {
     return fetch_ids_.fetch_add(1, std::memory_order_relaxed);
@@ -218,10 +268,7 @@ class FaultInjector {
 
  private:
   static std::uint64_t splitmix(std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
+    return detail::splitmix64(x);
   }
 
   /// Uniform in [0, 1) derived from (seed, id, attempt, salt).

@@ -18,6 +18,11 @@ ReliableLayer::ReliableLayer(Runtime& rt, FaultInjector& injector)
   for (int p = 0; p < rt.numProcs(); ++p) {
     procs_.push_back(std::make_unique<ProcState>());
   }
+  const auto n = static_cast<std::size_t>(std::max(0, rt.numProcs()));
+  abandoned_to_ = std::make_unique<std::atomic<bool>[]>(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    abandoned_to_[p].store(false, std::memory_order_relaxed);
+  }
 }
 
 ReliableLayer::~ReliableLayer() = default;
@@ -75,6 +80,14 @@ void ReliableLayer::transmit(const std::shared_ptr<Pending>& p) {
 }
 
 void ReliableLayer::deliver(const std::shared_ptr<Pending>& p) {
+  // A copy addressed to a dead rank is discarded without running the
+  // payload or acking: acking would let the sender believe the message
+  // was processed, resurrecting work the recovery already abandoned.
+  if (abandoned_to_[static_cast<std::size_t>(p->to)].load(
+          std::memory_order_acquire) ||
+      !rt_.rankAlive(p->to)) {
+    return;
+  }
   bool fresh;
   {
     auto& st = *procs_[static_cast<std::size_t>(p->to)];
@@ -109,7 +122,9 @@ void ReliableLayer::onTimer(const std::shared_ptr<Pending>& p) {
   Action action;
   {
     std::lock_guard lock(procs_[static_cast<std::size_t>(p->from)]->mutex);
-    if (p->acked || abandon_.load(std::memory_order_relaxed)) {
+    if (p->acked || abandon_.load(std::memory_order_relaxed) ||
+        abandoned_to_[static_cast<std::size_t>(p->to)].load(
+            std::memory_order_acquire)) {
       action = Action::kRetire;
     } else if (p->attempts >
                injector_.config().max_transport_retries) {
@@ -153,6 +168,16 @@ void ReliableLayer::retire(const std::shared_ptr<Pending>& p) {
 
 void ReliableLayer::abandonAll() {
   abandon_.store(true, std::memory_order_relaxed);
+}
+
+void ReliableLayer::abandonRank(int rank) {
+  abandoned_to_[static_cast<std::size_t>(rank)].store(
+      true, std::memory_order_release);
+}
+
+void ReliableLayer::readmitRank(int rank) {
+  abandoned_to_[static_cast<std::size_t>(rank)].store(
+      false, std::memory_order_release);
 }
 
 double ReliableLayer::backoffUs(int attempts) const {

@@ -46,6 +46,18 @@ class ReliableLayer {
   /// destructor's drain cannot hang or throw.
   void abandonAll();
 
+  /// Stop retransmitting to one dead rank: every in-flight message
+  /// addressed to it retires on its next timer instead of retransmitting,
+  /// and copies already on the wire are discarded at delivery. A late ack
+  /// for an abandoned message is absorbed without resurrecting it. Called
+  /// by Runtime::recoverCrashedRanks().
+  void abandonRank(int rank);
+
+  /// Clear a rank's abandon flag after a restart recovery. Only safe once
+  /// the runtime has settled to quiescence, i.e. every in-flight message
+  /// addressed to the dead incarnation has already retired.
+  void readmitRank(int rank);
+
   std::uint64_t inflight() const {
     return inflight_.load(std::memory_order_relaxed);
   }
@@ -112,6 +124,8 @@ class ReliableLayer {
   std::atomic<std::uint64_t> undeliverable_{0};
   std::atomic<std::uint64_t> acked_{0};
   std::atomic<bool> abandon_{false};
+  /// Per-destination abandon flags, one per rank (see abandonRank).
+  std::unique_ptr<std::atomic<bool>[]> abandoned_to_;
 };
 
 }  // namespace paratreet::rts

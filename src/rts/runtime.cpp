@@ -45,6 +45,13 @@ Runtime::~Runtime() {
   if (auto* rel = reliable_ptr_.load(std::memory_order_acquire)) {
     rel->abandonAll();
   }
+  // Tasks piled up on an unrecovered crashed rank would keep pending_
+  // above zero forever; discard them unrun.
+  for (int p = 0; p < config_.n_procs; ++p) {
+    if (queues_[p]->crashed.load(std::memory_order_acquire)) {
+      purgeRankQueues(p);
+    }
+  }
   drainImpl(/*allow_watchdog=*/false);
   shutdown_.store(true, std::memory_order_release);
   for (auto& q : queues_) {
@@ -93,6 +100,7 @@ void Runtime::attachMetrics(obs::MetricsRegistry* registry) {
   m->retries = &registry->counter("rts.retries");
   m->undeliverable = &registry->counter("rts.undeliverable");
   m->dup_suppressed = &registry->counter("rts.dup_suppressed");
+  m->crashes = &registry->counter("rts.crashes");
   for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
     m->faults_injected[k] = &registry->counter(
         std::string("rts.faults_injected.") + kFaultKindNames[k]);
@@ -132,13 +140,26 @@ void Runtime::checkRank(const char* where, const char* which,
 
 void Runtime::enqueue(int proc, Task task) {
   checkRank("Runtime::enqueue", "proc", proc);
-  pending_.fetch_add(1, std::memory_order_relaxed);
   auto& q = *queues_[proc];
-  std::size_t depth;
+  // pending_ is raised before the task becomes poppable and credited back
+  // if the rank turns out to be excluded; the flag is read under the
+  // queue mutex so a recovery's exclude-then-purge cannot miss a task.
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t depth = 0;
+  bool dropped = false;
   {
     std::lock_guard lock(q.mutex);
-    q.ready.push_back(std::move(task));
-    depth = q.ready.size();
+    if (q.excluded.load(std::memory_order_acquire)) {
+      // Black hole: a shrink recovery routed around this dead rank.
+      dropped = true;
+    } else {
+      q.ready.push_back(std::move(task));
+      depth = q.ready.size();
+    }
+  }
+  if (dropped) {
+    finishTask();
+    return;
   }
   q.cv.notify_one();
   if (auto* m = metrics_.load(std::memory_order_acquire)) {
@@ -156,13 +177,22 @@ void Runtime::enqueueAfterUs(int proc, double delay_us, Task task) {
   const auto ready =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(delay);
-  pending_.fetch_add(1, std::memory_order_relaxed);
   auto& q = *queues_[proc];
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  bool dropped = false;
   {
     std::lock_guard lock(q.mutex);
-    q.delayed.push(detail::DelayedTask{
-        ready, delay_seq_.fetch_add(1, std::memory_order_relaxed),
-        std::move(task)});
+    if (q.excluded.load(std::memory_order_acquire)) {
+      dropped = true;
+    } else {
+      q.delayed.push(detail::DelayedTask{
+          ready, delay_seq_.fetch_add(1, std::memory_order_relaxed),
+          std::move(task)});
+    }
+  }
+  if (dropped) {
+    finishTask();
+    return;
   }
   q.cv.notify_one();
 }
@@ -170,6 +200,9 @@ void Runtime::enqueueAfterUs(int proc, double delay_us, Task task) {
 void Runtime::send(int from, int to, std::size_t bytes, Task on_receive) {
   checkRank("Runtime::send", "source", from);
   checkRank("Runtime::send", "destination", to);
+  // Dropped before entering the reliable layer: retransmitting into a
+  // rank the recovery already excluded would only burn the retry budget.
+  if (queues_[to]->excluded.load(std::memory_order_acquire)) return;
   msg_count_.fetch_add(1, std::memory_order_relaxed);
   msg_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (auto* m = metrics_.load(std::memory_order_acquire)) {
@@ -232,12 +265,25 @@ std::string Runtime::quiescenceDiagnostic() {
                     std::to_string(pending_.load(std::memory_order_acquire)) +
                     " task(s)/message(s) pending\n";
   out += "per-proc queues (ready/delayed):\n";
+  std::string dead;
   for (std::size_t p = 0; p < queues_.size(); ++p) {
     auto& q = *queues_[p];
     std::lock_guard lock(q.mutex);
     out += "  proc " + std::to_string(p) + ": ready=" +
            std::to_string(q.ready.size()) + " delayed=" +
-           std::to_string(q.delayed.size()) + "\n";
+           std::to_string(q.delayed.size());
+    if (q.crashed.load(std::memory_order_acquire)) {
+      out += " CRASHED";
+      if (!dead.empty()) dead += ", ";
+      dead += std::to_string(p);
+    }
+    if (q.excluded.load(std::memory_order_acquire)) out += " (excluded)";
+    out += "\n";
+  }
+  if (!dead.empty()) {
+    out += "rank-crash fault: rank(s) " + dead +
+           " died mid-step; enable checkpointing "
+           "(Configuration.checkpoint_every > 0) to recover\n";
   }
   if (auto* rel = reliable_ptr_.load(std::memory_order_acquire)) {
     out += "in-flight reliable messages: " +
@@ -277,6 +323,123 @@ std::string Runtime::quiescenceDiagnostic() {
   return out;
 }
 
+void Runtime::markCrashed(int proc) {
+  queues_[proc]->crashed.store(true, std::memory_order_release);
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* m = metrics_.load(std::memory_order_acquire)) {
+    m->crashes->add(1);
+  }
+  noteFault(FaultKind::kCrash);
+  if (auto* inj = injector_ptr_.load(std::memory_order_acquire)) {
+    inj->record(FaultKind::kCrash);
+  }
+  if (auto* tb = trace_.load(std::memory_order_acquire)) {
+    obs::TraceEvent ev;
+    ev.name = "rts.crash";
+    ev.category = "fault";
+    ev.start_us = tb->sinceOriginUs(std::chrono::steady_clock::now());
+    ev.duration_us = 0;
+    ev.proc = proc;
+    ev.worker = currentWorker();
+    tb->record(ev);
+  }
+}
+
+void Runtime::scheduleCrash(int rank, int after_tasks) {
+  checkRank("Runtime::scheduleCrash", "victim", rank);
+  auto& q = *queues_[rank];
+  if (after_tasks <= 0) {
+    markCrashed(rank);
+    std::lock_guard lock(q.mutex);
+    q.cv.notify_all();  // park idle workers on the crashed branch now
+    return;
+  }
+  q.crash_countdown.store(after_tasks, std::memory_order_release);
+}
+
+bool Runtime::rankCrashed(int rank) const {
+  checkRank("Runtime::rankCrashed", "rank", rank);
+  return queues_[rank]->crashed.load(std::memory_order_acquire);
+}
+
+bool Runtime::rankAlive(int rank) const {
+  checkRank("Runtime::rankAlive", "rank", rank);
+  auto& q = *queues_[rank];
+  return !q.crashed.load(std::memory_order_acquire) &&
+         !q.excluded.load(std::memory_order_acquire);
+}
+
+std::vector<int> Runtime::crashedRanks() const {
+  // Lists un-recovered crashes only: after a shrink recovery the rank is
+  // excluded (dead, but already handled) and no longer reported here.
+  std::vector<int> out;
+  for (int p = 0; p < config_.n_procs; ++p) {
+    auto& q = *queues_[p];
+    if (q.crashed.load(std::memory_order_acquire) &&
+        !q.excluded.load(std::memory_order_acquire)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Runtime::liveProcs() const {
+  std::vector<int> out;
+  for (int p = 0; p < config_.n_procs; ++p) {
+    if (rankAlive(p)) out.push_back(p);
+  }
+  return out;
+}
+
+void Runtime::purgeRankQueues(int proc) {
+  auto& q = *queues_[proc];
+  std::size_t purged;
+  {
+    std::lock_guard lock(q.mutex);
+    purged = q.ready.size() + q.delayed.size();
+    q.ready.clear();
+    q.delayed = {};
+  }
+  for (std::size_t i = 0; i < purged; ++i) finishTask();
+}
+
+void Runtime::recoverCrashedRanks(bool restart) {
+  auto* rel = reliable_ptr_.load(std::memory_order_acquire);
+  const std::vector<int> dead = crashedRanks();
+  for (const int r : dead) {
+    if (rel != nullptr) rel->abandonRank(r);
+  }
+  for (const int r : dead) {
+    auto& q = *queues_[r];
+    // Exclude first (under the queue mutex), then purge: any enqueue that
+    // slipped in before the flag is swept up by the purge, and nothing
+    // can land afterwards. Workers stay parked on `crashed` throughout.
+    {
+      std::lock_guard lock(q.mutex);
+      q.crash_countdown.store(-1, std::memory_order_relaxed);
+      q.excluded.store(true, std::memory_order_release);
+    }
+    purgeRankQueues(r);
+  }
+  // Settle the survivors to true quiescence: leftover work from the
+  // aborted step runs out or retires here (retransmit timers addressed to
+  // the dead ranks see the abandon flag), so the caller restores
+  // checkpoints into a quiet system.
+  drainImpl(/*allow_watchdog=*/false);
+  if (!restart) return;
+  // Restart mode: the dead ranks rejoin blank only now, after every
+  // message addressed to their dead incarnation has retired — nothing
+  // stale can be resurrected into the new incarnation.
+  for (const int r : dead) {
+    if (rel != nullptr) rel->readmitRank(r);
+    auto& q = *queues_[r];
+    std::lock_guard lock(q.mutex);
+    q.excluded.store(false, std::memory_order_release);
+    q.crashed.store(false, std::memory_order_release);
+    q.cv.notify_all();
+  }
+}
+
 CommStats Runtime::stats() const {
   return {msg_count_.load(std::memory_order_relaxed),
           msg_bytes_.load(std::memory_order_relaxed)};
@@ -295,6 +458,14 @@ void Runtime::workerLoop(int proc, int worker) {
   auto& q = *queues_[proc];
   std::unique_lock lock(q.mutex);
   while (true) {
+    if (q.crashed.load(std::memory_order_acquire)) {
+      // Dead rank: park without touching the queues. Anything queued (or
+      // maturing in `delayed`) stays pending, so the next drain() trips
+      // the watchdog — that is the crash-detection signal.
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      q.cv.wait(lock);
+      continue;
+    }
     const auto now = std::chrono::steady_clock::now();
     // Promote matured delayed messages to the ready queue.
     while (!q.delayed.empty() && q.delayed.top().ready <= now) {
@@ -331,6 +502,13 @@ void Runtime::workerLoop(int proc, int worker) {
                 std::chrono::steady_clock::now() - start_)
                 .count(),
             std::memory_order_relaxed);
+      }
+      // Armed crash: the rank dies at a task boundary once the seeded
+      // budget is spent. fetch_sub returning 1 picks exactly one worker
+      // even when several race past the relaxed pre-check.
+      if (q.crash_countdown.load(std::memory_order_relaxed) > 0 &&
+          q.crash_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        markCrashed(proc);
       }
       finishTask();
       lock.lock();

@@ -170,6 +170,35 @@ class Runtime {
     return trace_.load(std::memory_order_acquire);
   }
 
+  // --- rank-crash fault tolerance ------------------------------------------
+
+  /// Arm a deterministic rank crash: after `after_tasks` more task
+  /// completions on `rank` (immediately when <= 0) the rank is marked
+  /// crashed and its workers park. Queued work for the rank piles up, so
+  /// the next drain() trips the watchdog — that QuiescenceTimeout is the
+  /// crash-detection signal. Callable any time; fires at a task boundary.
+  void scheduleCrash(int rank, int after_tasks);
+
+  bool rankCrashed(int rank) const;
+  /// Alive = neither crashed nor excluded by a shrink recovery. Fault-free
+  /// runs always answer true.
+  bool rankAlive(int rank) const;
+  std::vector<int> crashedRanks() const;
+  /// Ranks currently accepting work, in ascending order.
+  std::vector<int> liveProcs() const;
+  /// Rank crashes observed since construction.
+  std::uint64_t crashCount() const {
+    return crashes_.load(std::memory_order_relaxed);
+  }
+
+  /// Post-crash cleanup, called off-worker after the watchdog fired:
+  /// abandons reliable traffic addressed to dead ranks, discards their
+  /// queued tasks, then settles the survivors to true quiescence (no
+  /// watchdog). With `restart` the dead ranks rejoin blank — their
+  /// workers resume popping — otherwise they stay excluded: enqueue() and
+  /// send() to them become silent no-ops until a later restart recovery.
+  void recoverCrashedRanks(bool restart);
+
   /// The quiescence diagnostic the watchdog throws: pending count,
   /// per-proc ready/delayed queue depths, in-flight reliable messages,
   /// injected-fault counts, and per-worker last-task age.
@@ -188,12 +217,22 @@ class Runtime {
     std::condition_variable cv;
     std::deque<Task> ready;
     std::priority_queue<detail::DelayedTask> delayed;
+    /// Remaining task completions before this rank dies; < 0 = not armed.
+    std::atomic<int> crash_countdown{-1};
+    /// Crashed: workers park, queues pile up until recovery.
+    std::atomic<bool> crashed{false};
+    /// Excluded by a shrink recovery: enqueue/send become no-ops.
+    std::atomic<bool> excluded{false};
   };
 
   void workerLoop(int proc, int worker);
   void finishTask();
   void checkRank(const char* where, const char* which, int rank) const;
   void drainImpl(bool allow_watchdog);
+  /// Flag `proc` dead and record the crash (counters + trace event).
+  void markCrashed(int proc);
+  /// Discard everything queued on `proc` unrun, crediting pending_.
+  void purgeRankQueues(int proc);
 
   /// Pre-registered scheduler instruments (see attachMetrics).
   struct SchedulerMetrics {
@@ -204,6 +243,7 @@ class Runtime {
     obs::Counter* retries = nullptr;
     obs::Counter* undeliverable = nullptr;
     obs::Counter* dup_suppressed = nullptr;
+    obs::Counter* crashes = nullptr;
     std::array<obs::Counter*, kNumFaultKinds> faults_injected{};
     /// Indexed by global worker (proc * workers_per_proc + worker).
     std::vector<obs::Counter*> busy_ns;
@@ -222,6 +262,7 @@ class Runtime {
   std::atomic<std::uint64_t> msg_count_{0};
   std::atomic<std::uint64_t> msg_bytes_{0};
   std::atomic<std::uint64_t> delay_seq_{0};
+  std::atomic<std::uint64_t> crashes_{0};
 
   std::unique_ptr<SchedulerMetrics> metrics_storage_;
   std::atomic<SchedulerMetrics*> metrics_{nullptr};

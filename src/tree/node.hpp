@@ -93,6 +93,18 @@ struct Node {
   Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
+  ~Node() {
+    // Waiters still parked when the tree is torn down were heap-allocated
+    // by the cache and will never be resumed — this happens when a
+    // traversal is abandoned (crash recovery, watchdog abort) and the
+    // next build drops the cache arenas wholesale.
+    Waiter* w = waiters.load(std::memory_order_acquire);
+    while (w != nullptr && w != kWaitersClosed) {
+      Waiter* next = w->next;
+      delete w;
+      w = next;
+    }
+  }
 
   Node* child(int i) const {
     assert(i >= 0 && i < n_children);

@@ -1,9 +1,11 @@
 #include "util/snapshot.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace paratreet {
@@ -52,8 +54,15 @@ void saveSnapshot(const std::string& path, const InitialConditions& ic) {
 }
 
 InitialConditions loadSnapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("cannot open snapshot: " + path);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  if (file_size < sizeof(Header)) {
+    throw std::runtime_error("truncated snapshot " + path + ": " +
+                             std::to_string(file_size) +
+                             " byte(s), smaller than the header");
+  }
   Header header{};
   in.read(reinterpret_cast<char*>(&header), sizeof(header));
   if (!in || header.magic != kMagic) {
@@ -62,21 +71,75 @@ InitialConditions loadSnapshot(const std::string& path) {
   if (header.version != kVersion) {
     throw std::runtime_error("unsupported snapshot version in " + path);
   }
+  const std::uint64_t expected =
+      sizeof(Header) + header.count * sizeof(Record);
+  if (file_size != expected) {
+    throw std::runtime_error(
+        (file_size < expected ? "truncated snapshot " : "oversized snapshot ") +
+        path + ": header declares " + std::to_string(header.count) +
+        " particle(s) (" + std::to_string(expected) + " bytes) but file holds " +
+        std::to_string(file_size) + " bytes");
+  }
   InitialConditions ic;
   ic.positions.reserve(header.count);
   ic.velocities.reserve(header.count);
   ic.masses.reserve(header.count);
   ic.radii.reserve(header.count);
+  std::uint64_t bad_positions = 0;
+  std::uint64_t first_bad = 0;
   for (std::uint64_t i = 0; i < header.count; ++i) {
     Record rec{};
     in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
     if (!in) throw std::runtime_error("truncated snapshot: " + path);
+    if (!std::isfinite(rec.px) || !std::isfinite(rec.py) ||
+        !std::isfinite(rec.pz)) {
+      if (bad_positions == 0) first_bad = i;
+      ++bad_positions;
+    }
     ic.positions.push_back({rec.px, rec.py, rec.pz});
     ic.velocities.push_back({rec.vx, rec.vy, rec.vz});
     ic.masses.push_back(rec.mass);
     ic.radii.push_back(rec.radius);
   }
+  if (bad_positions > 0) {
+    throw std::runtime_error(
+        "corrupt snapshot " + path + ": " + std::to_string(bad_positions) +
+        " particle(s) with non-finite (NaN/inf) positions, first at index " +
+        std::to_string(first_bad));
+  }
   return ic;
+}
+
+void validateInitialConditions(const InitialConditions& ic) {
+  std::uint64_t bad_positions = 0, first_bad_position = 0;
+  std::uint64_t bad_masses = 0, first_bad_mass = 0;
+  for (std::size_t i = 0; i < ic.size(); ++i) {
+    const Vec3& p = ic.positions[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.z)) {
+      if (bad_positions == 0) first_bad_position = i;
+      ++bad_positions;
+    }
+    const double m = i < ic.masses.size() ? ic.masses[i] : 0.0;
+    if (!(m > 0.0)) {  // catches <= 0 and NaN
+      if (bad_masses == 0) first_bad_mass = i;
+      ++bad_masses;
+    }
+  }
+  std::string err;
+  if (bad_positions > 0) {
+    err += std::to_string(bad_positions) +
+           " particle(s) with non-finite (NaN/inf) positions, first at index " +
+           std::to_string(first_bad_position);
+  }
+  if (bad_masses > 0) {
+    if (!err.empty()) err += "; ";
+    err += std::to_string(bad_masses) +
+           " particle(s) with non-positive mass, first at index " +
+           std::to_string(first_bad_mass);
+  }
+  if (!err.empty()) {
+    throw std::runtime_error("invalid initial conditions: " + err);
+  }
 }
 
 void exportCsv(const std::string& path, const InitialConditions& ic) {

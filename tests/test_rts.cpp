@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "rts/profiler.hpp"
 #include "rts/reduction.hpp"
+#include "rts/reliable.hpp"
 #include "rts/runtime.hpp"
 #include "util/timer.hpp"
 
@@ -378,6 +381,120 @@ TEST(CommModel, DelayedMessagesDeliverFifoAtEqualCost) {
   rt.drain();
   ASSERT_EQ(order.size(), 32u);
   for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+// --- reliable-layer abandonment racing in-flight retransmits ---------------
+
+/// A dead rank's retransmit chains must retire on their next timer instead
+/// of spinning forever: with every copy dropped the chains would otherwise
+/// retransmit until the (huge) retry budget ran out, and drain() here
+/// would block for minutes.
+TEST(Reliable, AbandonRankRetiresInflightRetransmitChains) {
+  Runtime rt({2, 1});
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.drop_p = 1.0;  // every physical copy is lost: pure retransmit chains
+  fc.max_transport_retries = 1000000;
+  fc.retry_backoff_us = 100.0;
+  fc.retry_backoff_cap_us = 200.0;
+  FaultInjector injector(fc);
+  ReliableLayer layer(rt, injector);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    layer.send(0, 1, 64, [&ran] { ran.fetch_add(1); });
+  }
+  // Let several retransmission timers fire while the chains are live.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(layer.inflight(), 8u);
+  layer.abandonRank(1);
+  rt.drain();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(layer.inflight(), 0u);
+  EXPECT_EQ(layer.acked(), 0u);
+  EXPECT_GT(layer.retries(), 0u);
+}
+
+/// A copy already "on the wire" (queued for delivery) when its destination
+/// rank is abandoned must be discarded without running the payload and
+/// without acking — an ack would tell the sender the dead rank processed
+/// the message.
+TEST(Reliable, CopyOnTheWireToAbandonedRankIsDiscardedWithoutAck) {
+  Runtime rt({2, 1});
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.retry_backoff_us = 500.0;
+  fc.retry_backoff_cap_us = 1000.0;
+  fc.max_transport_retries = 3;
+  FaultInjector injector(fc);
+  ReliableLayer layer(rt, injector);
+  std::atomic<bool> ran{false};
+  // Park proc 1's only worker so the delivery task sits queued — the copy
+  // is in flight when the destination dies.
+  std::atomic<bool> hold{true};
+  rt.enqueue(1, [&hold] {
+    while (hold.load()) std::this_thread::yield();
+  });
+  layer.send(0, 1, 64, [&ran] { ran.store(true); });
+  layer.abandonRank(1);
+  hold.store(false);
+  rt.drain();
+  EXPECT_FALSE(ran.load());       // payload must not run on the dead rank
+  EXPECT_EQ(layer.acked(), 0u);   // and no late ack may claim it was processed
+  EXPECT_EQ(layer.inflight(), 0u);  // the ack timer retired the entry instead
+}
+
+/// abandonAll() (runtime teardown) racing live retransmit timers: every
+/// pending entry is released as its timer fires, from every sender at once.
+TEST(Reliable, AbandonAllRacingRetransmitTimersReleasesEverything) {
+  Runtime rt({3, 1});
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.drop_p = 1.0;
+  fc.max_transport_retries = 1000000;
+  fc.retry_backoff_us = 100.0;
+  fc.retry_backoff_cap_us = 200.0;
+  FaultInjector injector(fc);
+  ReliableLayer layer(rt, injector);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 12; ++i) {
+    layer.send(i % 3, (i + 1) % 3, 64, [&ran] { ran.fetch_add(1); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  layer.abandonAll();
+  rt.drain();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(layer.inflight(), 0u);
+}
+
+/// End-to-end over the runtime: a rank crashes with reliable delivery
+/// active, recovery abandons its traffic, and the restarted incarnation
+/// must never execute a pre-crash message — while new traffic flows.
+TEST(Runtime, RecoveredRankDoesNotResurrectAbandonedMessages) {
+  Runtime::Config cfg;
+  cfg.n_procs = 2;
+  cfg.workers_per_proc = 1;
+  cfg.fault.enabled = true;
+  cfg.fault.drop_p = 0.2;  // engage the reliable-delivery layer
+  cfg.fault.seed = 7;
+  cfg.fault.max_transport_retries = 10;
+  cfg.fault.retry_backoff_us = 200.0;
+  cfg.fault.retry_backoff_cap_us = 400.0;
+  cfg.fault.drain_deadline_ms = 250.0;
+  Runtime rt(cfg);
+  rt.scheduleCrash(1, 0);
+  std::atomic<bool> old_ran{false};
+  rt.send(0, 1, 64, [&old_ran] { old_ran.store(true); });
+  EXPECT_THROW(rt.drain(), QuiescenceTimeout);
+  EXPECT_EQ(rt.crashedRanks(), std::vector<int>{1});
+  rt.recoverCrashedRanks(/*restart=*/true);
+  EXPECT_TRUE(rt.crashedRanks().empty());
+  EXPECT_TRUE(rt.rankAlive(1));
+  std::atomic<bool> new_ran{false};
+  rt.send(0, 1, 64, [&new_ran] { new_ran.store(true); });
+  rt.drain();
+  EXPECT_FALSE(old_ran.load());
+  EXPECT_TRUE(new_ran.load());
+  EXPECT_EQ(rt.crashCount(), 1u);
 }
 
 TEST(CommModel, DrainWaitsOutInFlightDelayedMessages) {

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "apps/gravity/gravity.hpp"
@@ -84,6 +85,66 @@ TEST(Snapshot, RejectsTruncatedFile) {
   std::remove(path.c_str());
 }
 
+TEST(Snapshot, RejectsOversizedFile) {
+  auto ic = uniformCube(20, 3);
+  const std::string path = tempPath("oversized.ptreet");
+  saveSnapshot(path, ic);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char junk[24] = {};
+    out.write(junk, sizeof(junk));  // trailing bytes the header can't explain
+  }
+  try {
+    loadSnapshot(path);
+    FAIL() << "oversized snapshot loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("oversized"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("20 particle(s)"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, RejectsNonFinitePositions) {
+  auto ic = uniformCube(10, 4);
+  ic.positions[3].y = std::numeric_limits<double>::quiet_NaN();
+  ic.positions[7].x = std::numeric_limits<double>::infinity();
+  const std::string path = tempPath("nonfinite.ptreet");
+  saveSnapshot(path, ic);
+  try {
+    loadSnapshot(path);
+    FAIL() << "snapshot with NaN/inf positions loaded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 particle(s) with non-finite"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("first at index 3"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ValidateInitialConditionsReportsOffenders) {
+  auto ic = uniformCube(10, 5);
+  EXPECT_NO_THROW(validateInitialConditions(ic));
+  ic.positions[2].z = std::numeric_limits<double>::quiet_NaN();
+  ic.masses[4] = 0.0;
+  ic.masses[6] = -1.0;
+  try {
+    validateInitialConditions(ic);
+    FAIL() << "invalid initial conditions accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 particle(s) with non-finite"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("first at index 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 particle(s) with non-positive mass"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("first at index 4"), std::string::npos) << what;
+  }
+}
+
 TEST(Snapshot, CsvExportHasHeaderAndRows) {
   auto ic = uniformCube(10, 2);
   const std::string path = tempPath("export.csv");
@@ -129,6 +190,22 @@ TEST(Snapshot, DriverLoadsFromInputFile) {
     if (p.acceleration.length() > 0) any_accel = true;
   }
   EXPECT_TRUE(any_accel);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, DriverRejectsInvalidInputFile) {
+  // The strict initial-conditions gate sits on the Driver's input_file
+  // path; bare loadSnapshot stays permissive about masses (see
+  // MissingOptionalArraysDefaultToZero above).
+  auto ic = uniformCube(50, 6);
+  ic.masses[10] = -2.0;
+  const std::string path = tempPath("bad_masses.ptreet");
+  saveSnapshot(path, ic);
+  EXPECT_NO_THROW(loadSnapshot(path));  // structurally fine
+  rts::Runtime rt({2, 1});
+  SnapshotDriver app;
+  app.file = path;
+  EXPECT_THROW(app.run(rt, {}), std::runtime_error);
   std::remove(path.c_str());
 }
 
