@@ -138,6 +138,27 @@ inline EvalKernel stripKernelArg(int& argc, char** argv) {
   std::exit(2);
 }
 
+/// Strip a `--decomp-impl=sort|histogram` flag and return the selected
+/// decomposition implementation (default: the parallel histogram
+/// pipeline). "sort" selects the serial full-sort reference path kept
+/// for A/B validation; both produce identical piece assignments.
+/// Unknown values abort with a usage message rather than silently
+/// benchmarking the wrong thing.
+inline DecompImpl stripDecompImplArg(int& argc, char** argv) {
+  std::string value;
+  if (!stripFlagArg(argc, argv, "--decomp-impl=", value)) {
+    return DecompImpl::kHistogram;
+  }
+  DecompImpl impl;
+  if (!fromString(value, impl)) {
+    std::fprintf(stderr,
+                 "--decomp-impl= expects 'sort' or 'histogram', got '%s'\n",
+                 value.c_str());
+    std::exit(2);
+  }
+  return impl;
+}
+
 /// End-of-run half of the --metrics-out story: no-op when `path` is empty,
 /// otherwise serialize the run's instrumentation as one JSON report.
 inline void writeMetricsReport(const Instrumentation& instr,

@@ -8,7 +8,7 @@
 //
 // Usage: quickstart [n_particles] [n_procs] [workers_per_proc]
 //                    [--metrics-out=<file>] [--chaos-seed=<n>]
-//                    [--fault-drop=<p>]
+//                    [--fault-drop=<p>] [--decomp-impl=sort|histogram]
 //
 // --metrics-out enables the observability layer (metrics registry, trace
 // buffer, activity profiler) and writes its JSON report to <file>
@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = bench::stripMetricsOutArg(argc, argv);
   const bool metrics_enabled = !metrics_out.empty();
   const rts::FaultConfig fault = bench::stripChaosArgs(argc, argv);
+  const DecompImpl decomp_impl = bench::stripDecompImplArg(argc, argv);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
   const int procs = argc > 2 ? std::atoi(argv[2]) : 2;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
@@ -114,6 +115,7 @@ int main(int argc, char** argv) {
   conf.min_partitions = 4 * procs * workers;
   conf.min_subtrees = 2 * procs;
   conf.bucket_size = 12;
+  conf.decomp_impl = decomp_impl;
 
   // One Observability bundle owns the profiler + metrics + trace buffer;
   // the library takes a non-owning Instrumentation handle (all-null when

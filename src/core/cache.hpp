@@ -313,9 +313,14 @@ class CacheManager {
   const Stats& stats() const { return stats_; }
 
   /// Sum of private-cache node copies (kPerThread memory footprint).
+  /// Safe to poll mid-traversal: concurrent fills push into blocks_ under
+  /// blocks_mutex_, so the read takes it too.
   std::size_t cachedNodeCount() const {
     std::size_t n = arena_.size();
-    for (const auto& b : blocks_) n += b->nodes.size();
+    {
+      std::lock_guard lock(blocks_mutex_);
+      for (const auto& b : blocks_) n += b->nodes.size();
+    }
     for (const auto& wc : worker_caches_) {
       std::lock_guard lock(wc->mutex);
       for (const auto& b : wc->blocks) n += b->nodes.size();
@@ -719,7 +724,7 @@ class CacheManager {
   std::mutex local_roots_mutex_;
   std::unordered_map<Key, Node<Data>*> local_roots_;
 
-  std::mutex blocks_mutex_;
+  mutable std::mutex blocks_mutex_;
   std::vector<std::unique_ptr<NodeBlock>> blocks_;
 
   std::mutex xwrite_mutex_;

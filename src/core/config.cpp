@@ -89,6 +89,11 @@ std::string Configuration::validate() const {
     return bad("bucket_size", bucket_size,
                "leaf buckets must hold at least one particle");
   }
+  if (splitter_probes < 1) {
+    return bad("splitter_probes", splitter_probes,
+               "each histogram refinement round must probe at least one "
+               "candidate splitter");
+  }
   if (fetch_depth < 1) {
     return bad("fetch_depth", fetch_depth,
                "each cache fill must ship at least one tree level");

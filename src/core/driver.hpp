@@ -173,16 +173,6 @@ class Driver {
     if (instr.trace != nullptr) rt.attachTrace(nullptr);
   }
 
-  /// Transitional overload for the pre-Instrumentation API; wraps the
-  /// profiler in a metrics-less context. Remove after one release.
-  [[deprecated("pass an Instrumentation context instead of a raw "
-               "ActivityProfiler*")]]
-  void run(rts::Runtime& rt, std::vector<Particle> particles,
-           rts::ActivityProfiler* profiler) {
-    run(rt, std::move(particles),
-        Instrumentation{profiler, nullptr, nullptr});
-  }
-
   /// The engine; valid during and after run().
   Forest<Data, TreeTypeT>& forest() { return *forest_; }
   const Forest<Data, TreeTypeT>& forest() const { return *forest_; }

@@ -20,6 +20,7 @@
 #include "core/subtree.hpp"
 #include "core/traversal.hpp"
 #include "decomp/decomposition.hpp"
+#include "decomp/runtime_parallel.hpp"
 #include "observability/instrumentation.hpp"
 #include "rts/checkpoint.hpp"
 #include "rts/profiler.hpp"
@@ -77,12 +78,6 @@ class Forest {
   Forest(rts::Runtime& rt, Configuration conf, Instrumentation instr = {})
       : rt_(rt), conf_(std::move(conf)), instr_(instr) {}
 
-  [[deprecated("pass an Instrumentation context instead of a raw "
-               "ActivityProfiler*")]]
-  Forest(rts::Runtime& rt, Configuration conf, rts::ActivityProfiler* profiler)
-      : Forest(rt, std::move(conf),
-               Instrumentation{profiler, nullptr, nullptr}) {}
-
   const Instrumentation& instrumentation() const { return instr_; }
 
   const Configuration& config() const { return conf_; }
@@ -114,6 +109,12 @@ class Forest {
   /// then scatter particles to their Subtrees. The two decompositions are
   /// independent; the library optimizes placement so equal splitters
   /// colocate Partition i with Subtree i.
+  ///
+  /// With Configuration::decomp_impl == kHistogram (the default) the
+  /// whole pipeline — box reduction, key assignment, splitter finding,
+  /// and the scatter — runs chunked on the worker runtime; kSort is the
+  /// serial full-sort reference path kept for A/B validation, and both
+  /// produce identical piece assignments.
   void decompose() {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "decompose", "phase");
@@ -124,22 +125,72 @@ class Forest {
     if (live_procs_.empty()) {
       throw std::runtime_error("Forest::decompose: no live processes");
     }
+    const bool parallel = conf_.decomp_impl == DecompImpl::kHistogram;
+    RuntimeParallelFor worker_par(rt_, live_procs_);
+    const int chunks = std::max(1, worker_par.ways());
+    const std::size_t n = particles_.size();
+
     universe_ = OrientedBox{};
-    for (const auto& p : particles_) universe_.grow(p.position);
+    if (parallel) {
+      // Chunked box reduction: partial boxes merge after quiescence
+      // (grow() skips empty partials from empty chunks).
+      std::vector<OrientedBox> partial(static_cast<std::size_t>(chunks));
+      worker_par.run(chunks, [&](int c) {
+        const auto r = decomp::chunkOf(n, chunks, c);
+        auto& box = partial[static_cast<std::size_t>(c)];
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          box.grow(particles_[i].position);
+        }
+      });
+      for (const auto& box : partial) universe_.grow(box);
+    } else {
+      for (const auto& p : particles_) universe_.grow(p.position);
+    }
     // Pad so particles on the boundary stay strictly inside (keys clamp).
     const Vec3 pad = universe_.size() * 1e-9 + Vec3(1e-12);
     universe_.grow(universe_.greater_corner + pad);
     universe_.grow(universe_.lesser_corner - pad);
-    assignKeys(particles_, universe_);
+    if (parallel) {
+      worker_par.run(chunks, [&](int c) {
+        const auto r = decomp::chunkOf(n, chunks, c);
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          particles_[i].key = keys::mortonKey(particles_[i].position, universe_);
+        }
+      });
+    } else {
+      assignKeys(particles_, universe_);
+    }
 
     partition_decomp_ = makeDecomposition(conf_.decomp_type);
-    const int n_parts = partition_decomp_->findSplitters(
-        std::span<Particle>(particles_), universe_, conf_.min_partitions,
-        Decomposition::Target::kPartition);
     subtree_decomp_ = makeDecomposition(conf_.subtreeDecomp());
-    const int n_subtrees = subtree_decomp_->findSplitters(
-        std::span<Particle>(particles_), universe_, conf_.min_subtrees,
-        Decomposition::Target::kSubtree);
+    int n_parts, n_subtrees;
+    {
+      WallTimer splitter_timer;
+      obs::TraceSpan splitter_span(instr_.trace, "decompose.splitters",
+                                   "phase");
+      if (parallel) {
+        // Both decompositions count over the same keys, so the sorted
+        // scratch (the expensive part) is built once and shared.
+        decomp::SortedKeyScratch scratch(std::span<const Particle>(particles_),
+                                         worker_par, chunks);
+        n_parts = partition_decomp_->findSplittersHistogram(
+            std::span<Particle>(particles_), universe_, conf_.min_partitions,
+            Decomposition::Target::kPartition, worker_par,
+            conf_.splitter_probes, &scratch);
+        n_subtrees = subtree_decomp_->findSplittersHistogram(
+            std::span<Particle>(particles_), universe_, conf_.min_subtrees,
+            Decomposition::Target::kSubtree, worker_par,
+            conf_.splitter_probes, &scratch);
+        emitGauge("decompose.histogram_seconds", splitter_timer.seconds());
+      } else {
+        n_parts = partition_decomp_->findSplitters(
+            std::span<Particle>(particles_), universe_, conf_.min_partitions,
+            Decomposition::Target::kPartition);
+        n_subtrees = subtree_decomp_->findSplitters(
+            std::span<Particle>(particles_), universe_, conf_.min_subtrees,
+            Decomposition::Target::kSubtree);
+      }
+    }
     auto regions = subtree_decomp_->regions();
     assert(static_cast<int>(regions.size()) == n_subtrees);
 
@@ -168,8 +219,18 @@ class Forest {
       st->region = regions[static_cast<std::size_t>(i)];
       subtrees_.push_back(std::move(st));
     }
-    for (const auto& p : particles_) {
-      subtrees_[static_cast<std::size_t>(p.subtree)]->particles.push_back(p);
+    {
+      WallTimer scatter_timer;
+      obs::TraceSpan scatter_span(instr_.trace, "decompose.scatter", "phase");
+      if (parallel) {
+        scatterParallel(worker_par, chunks, n_subtrees);
+      } else {
+        for (const auto& p : particles_) {
+          subtrees_[static_cast<std::size_t>(p.subtree)]->particles.push_back(
+              p);
+        }
+      }
+      emitGauge("decompose.scatter_seconds", scatter_timer.seconds());
     }
     const double seconds = timer.seconds();
     times_.decompose += seconds;
@@ -463,18 +524,34 @@ class Forest {
 
   /// End-of-iteration flush (paper Section II.D.1): pull the updated
   /// particles back from the Partitions, clear per-iteration outputs, and
-  /// re-run decomposition so the next build sees the new positions.
+  /// re-run decomposition so the next build sees the new positions. The
+  /// gather runs one task per Partition on its home process — every
+  /// particle's `order` slot is unique, so the writes are disjoint.
   void flush() {
-    particles_ = collect();
-    for (auto& p : particles_) {
-      p.acceleration = Vec3{};
-      p.potential = 0.0;
-      p.density = 0.0;
-      p.pressure = 0.0;
-      p.collision_partner = -1;
-      p.collision_time = 0.0;
-      p.neighbor_count = 0;
-      p.ball2 = 0.0;
+    {
+      obs::TraceSpan span(instr_.trace, "flush.gather", "phase");
+      std::vector<Particle> gathered(particles_.size());
+      for (auto& pp : partitions_) {
+        Partition<Data>* part = pp.get();
+        rt_.enqueue(part->home_proc, [part, &gathered] {
+          for (const auto& b : part->buckets) {
+            for (const auto& p : b.particles) {
+              Particle& q = gathered[static_cast<std::size_t>(p.order)];
+              q = p;
+              q.acceleration = Vec3{};
+              q.potential = 0.0;
+              q.density = 0.0;
+              q.pressure = 0.0;
+              q.collision_partner = -1;
+              q.collision_time = 0.0;
+              q.neighbor_count = 0;
+              q.ball2 = 0.0;
+            }
+          }
+        });
+      }
+      rt_.drain();
+      particles_ = std::move(gathered);
     }
     decompose();
   }
@@ -618,6 +695,52 @@ class Forest {
     rt_.drain();
   }
 
+  /// Two-pass parallel scatter of particles_ into the Subtrees' intake
+  /// vectors: count per (chunk, subtree), lay out chunk-major exclusive
+  /// offsets per subtree (so concatenation reproduces the serial
+  /// push_back order exactly), then write disjoint ranges directly.
+  void scatterParallel(ParallelFor& par, int chunks, int n_subtrees) {
+    const std::size_t n = particles_.size();
+    const auto ns = static_cast<std::size_t>(n_subtrees);
+    if (chunks <= 1) {
+      // One chunk: the count pass buys nothing, a single append pass is
+      // strictly cheaper (and produces the identical order).
+      for (const auto& p : particles_) {
+        subtrees_[static_cast<std::size_t>(p.subtree)]->particles.push_back(p);
+      }
+      return;
+    }
+    std::vector<std::vector<std::size_t>> counts(
+        static_cast<std::size_t>(chunks));
+    par.run(chunks, [&](int c) {
+      auto& cnt = counts[static_cast<std::size_t>(c)];
+      cnt.assign(ns, 0);
+      const auto r = decomp::chunkOf(n, chunks, c);
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        ++cnt[static_cast<std::size_t>(particles_[i].subtree)];
+      }
+    });
+    std::vector<std::vector<std::size_t>> offsets(
+        static_cast<std::size_t>(chunks),
+        std::vector<std::size_t>(ns));
+    for (std::size_t s = 0; s < ns; ++s) {
+      std::size_t run = 0;
+      for (int c = 0; c < chunks; ++c) {
+        offsets[static_cast<std::size_t>(c)][s] = run;
+        run += counts[static_cast<std::size_t>(c)][s];
+      }
+      subtrees_[s]->particles.resize(run);
+    }
+    par.run(chunks, [&](int c) {
+      auto cursor = offsets[static_cast<std::size_t>(c)];
+      const auto r = decomp::chunkOf(n, chunks, c);
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        const auto s = static_cast<std::size_t>(particles_[i].subtree);
+        subtrees_[s]->particles[cursor[s]++] = particles_[i];
+      }
+    });
+  }
+
   /// Accumulate one phase duration into the registry gauge
   /// "phase.<name>_seconds". Once-per-phase, so the registry lookup
   /// (mutexed) is off the hot path; no-op without a registry.
@@ -625,6 +748,12 @@ class Forest {
     if (instr_.metrics == nullptr) return;
     instr_.metrics->gauge(std::string("phase.") + name + "_seconds")
         .add(seconds);
+  }
+
+  /// Like emitPhase but with the verbatim gauge name.
+  void emitGauge(const char* name, double seconds) {
+    if (instr_.metrics == nullptr) return;
+    instr_.metrics->gauge(name).add(seconds);
   }
 
   /// Block placement of chare `i` of `n` onto the live processes (all of

@@ -1,9 +1,12 @@
 #include "decomp/decomposition.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
+#include <optional>
 #include <queue>
+#include <tuple>
 
 namespace paratreet {
 
@@ -26,6 +29,71 @@ bool fromString(const std::string& s, DecompType& out) {
   return true;
 }
 
+std::string toString(DecompImpl i) {
+  switch (i) {
+    case DecompImpl::kSort: return "sort";
+    case DecompImpl::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+bool fromString(const std::string& s, DecompImpl& out) {
+  if (s == "sort") out = DecompImpl::kSort;
+  else if (s == "histogram") out = DecompImpl::kHistogram;
+  else return false;
+  return true;
+}
+
+namespace decomp {
+
+// Sorting the 8-byte scratch instead of the wide Particle structs is
+// ~24x less memory traffic than the sort path's two full sorts, which is
+// what lets the histogram pipeline win even on a single worker.
+SortedKeyScratch::SortedKeyScratch(std::span<const Particle> particles,
+                                   ParallelFor& par, int chunks)
+    : keys_(particles.size()), n_(particles.size()), chunks_(chunks) {
+  par.run(chunks, [&](int c) {
+    const auto r = chunkOf(n_, chunks_, c);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      keys_[i] = particles[i].key;
+    }
+    std::sort(keys_.begin() + static_cast<std::ptrdiff_t>(r.begin),
+              keys_.begin() + static_cast<std::ptrdiff_t>(r.end));
+  });
+}
+
+std::size_t SortedKeyScratch::cntBelow(std::uint64_t s) const {
+  std::size_t cnt = 0;
+  for (int c = 0; c < chunks_; ++c) {
+    const auto r = chunkOf(n_, chunks_, c);
+    const auto first = keys_.begin() + static_cast<std::ptrdiff_t>(r.begin);
+    const auto last = keys_.begin() + static_cast<std::ptrdiff_t>(r.end);
+    cnt += static_cast<std::size_t>(std::lower_bound(first, last, s) - first);
+  }
+  return cnt;
+}
+
+}  // namespace decomp
+
+namespace {
+
+/// Probe values for one refinement round of a bracket [lo, hi): up to
+/// `probes` values strictly inside, evenly spaced; when few candidates
+/// remain every interior value is probed, so the bracket resolves. The
+/// values are exactly lo + floor(span*q/(m+1)) computed overflow-free.
+void appendProbes(std::uint64_t lo, std::uint64_t hi, int probes,
+                  std::vector<std::uint64_t>& out) {
+  const std::uint64_t span = hi - lo;
+  const auto m = std::min<std::uint64_t>(static_cast<std::uint64_t>(probes),
+                                         span - 1);
+  const std::uint64_t step = span / (m + 1), rem = span % (m + 1);
+  for (std::uint64_t q = 1; q <= m; ++q) {
+    out.push_back(lo + step * q + rem * q / (m + 1));
+  }
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // SFC
 
@@ -38,18 +106,63 @@ int SfcDecomposition::findSplitters(std::span<Particle> particles,
   splitters_.clear();
   const std::size_t n = particles.size();
   for (int piece = 0; piece < n_pieces; ++piece) {
-    // Slice [piece*n/k, (piece+1)*n/k); splitter = key of the next slice's
-    // first particle (or max for the last slice).
-    const std::size_t begin = n * static_cast<std::size_t>(piece) /
-                              static_cast<std::size_t>(n_pieces);
-    const std::size_t end = n * (static_cast<std::size_t>(piece) + 1) /
-                            static_cast<std::size_t>(n_pieces);
-    for (std::size_t i = begin; i < end; ++i) {
-      assign(particles[i], target, piece);
-    }
-    splitters_.push_back(end < n ? particles[end].key
-                                 : std::numeric_limits<std::uint64_t>::max());
+    // Splitter p: the smallest key with at least t = n(p+1)/k keys
+    // strictly below it. On sorted data that is key[t-1] + 1 — one past
+    // the *end* of the run of equal keys straddling index t, so a run of
+    // coincident particles is never cut and pieceOf() (upper_bound over
+    // splitters) agrees with the assignment below for every particle.
+    const std::size_t t = n * (static_cast<std::size_t>(piece) + 1) /
+                          static_cast<std::size_t>(n_pieces);
+    splitters_.push_back(t == 0 ? 0 : particles[t - 1].key + 1);
   }
+  for (auto& p : particles) assign(p, target, pieceOf(p));
+  return n_pieces;
+}
+
+int SfcDecomposition::findSplittersHistogram(
+    std::span<Particle> particles, const OrientedBox& /*universe*/,
+    int n_pieces, Target target, ParallelFor& par, int probes,
+    const decomp::SortedKeyScratch* scratch) {
+  assert(n_pieces > 0 && probes >= 1);
+  const std::size_t n = particles.size();
+  const int chunks = std::max(1, par.ways());
+  std::optional<decomp::SortedKeyScratch> own;
+  if (scratch == nullptr) scratch = &own.emplace(particles, par, chunks);
+  const decomp::SortedKeyScratch& keys = *scratch;
+
+  // One bracket per splitter with a nonzero target: cntBelow(lo) < t and
+  // cntBelow(hi) >= t, where cntBelow(s) = #(key < s). Keys are 63-bit,
+  // so hi = 2^63 satisfies the invariant initially; the answer — the
+  // smallest s with cntBelow(s) >= t, identical to the sort path's
+  // key[t-1] + 1 — is hi once the bracket narrows to one candidate.
+  // Counting over the chunk-sorted scratch is O(chunks log n) per probe,
+  // so the bisection runs entirely on the caller.
+  splitters_.assign(static_cast<std::size_t>(n_pieces), 0);
+  std::vector<std::uint64_t> probe_buf;
+  for (int piece = 0; piece < n_pieces; ++piece) {
+    const std::size_t t = n * (static_cast<std::size_t>(piece) + 1) /
+                          static_cast<std::size_t>(n_pieces);
+    if (t == 0) continue;
+    std::uint64_t lo = 0, hi = std::uint64_t{1} << keys::kMortonBits;
+    while (hi - lo > 1) {
+      probe_buf.clear();
+      appendProbes(lo, hi, probes, probe_buf);
+      // Probes ascend, so lo ratchets up to the last undershooting value
+      // and hi snaps to the first value meeting the target.
+      for (const std::uint64_t v : probe_buf) {
+        if (keys.cntBelow(v) < t) lo = v;
+        else { hi = v; break; }
+      }
+    }
+    splitters_[static_cast<std::size_t>(piece)] = hi;
+  }
+
+  par.run(chunks, [&](int c) {
+    const auto r = decomp::chunkOf(n, chunks, c);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      assign(particles[i], target, pieceOf(particles[i]));
+    }
+  });
   return n_pieces;
 }
 
@@ -130,18 +243,106 @@ int OctDecomposition::findSplitters(std::span<Particle> particles,
   std::sort(leaves.begin(), leaves.end(),
             [](const Region& a, const Region& b) { return a.begin < b.begin; });
 
-  regions_.clear();
-  range_starts_.clear();
+  std::vector<std::tuple<Key, int, std::size_t>> final_leaves;
+  final_leaves.reserve(leaves.size());
+  for (const Region& r : leaves) {
+    final_leaves.emplace_back(r.key, r.depth, r.count());
+  }
+  commitRegions(final_leaves, universe);
   for (std::size_t piece = 0; piece < leaves.size(); ++piece) {
     const Region& r = leaves[piece];
     for (std::size_t i = r.begin; i < r.end; ++i) {
       assign(particles[i], target, static_cast<int>(piece));
     }
-    regions_.push_back({r.key, r.depth, keys::boxForOctKey(r.key, universe),
-                        r.count()});
-    range_starts_.push_back(mortonRangeStart(r.key));
   }
   return static_cast<int>(regions_.size());
+}
+
+int OctDecomposition::findSplittersHistogram(
+    std::span<Particle> particles, const OrientedBox& universe, int n_pieces,
+    Target target, ParallelFor& par, int /*probes*/,
+    const decomp::SortedKeyScratch* scratch) {
+  assert(n_pieces > 0);
+  const std::size_t n = particles.size();
+  const int chunks = std::max(1, par.ways());
+  std::optional<decomp::SortedKeyScratch> own;
+  if (scratch == nullptr) scratch = &own.emplace(particles, par, chunks);
+  const decomp::SortedKeyScratch& keys = *scratch;
+
+  // Mirror the sort path's heaviest-first split loop exactly — identical
+  // push sequence (nonempty children in octant order, identical counts)
+  // with the same comparator means the heap evolves identically, so both
+  // paths pop the same regions and produce the same leaves. A region at
+  // depth d covers exactly the Morton range [start, start + 8^(21-d)),
+  // so each child's count is a range count on the chunk-sorted scratch —
+  // no per-split pass over the particles at all.
+  struct Region {
+    Key key;
+    int depth;
+    std::size_t count;
+  };
+  auto heavier = [](const Region& a, const Region& b) {
+    return a.count < b.count;
+  };
+  std::priority_queue<Region, std::vector<Region>, decltype(heavier)> queue(
+      heavier);
+  queue.push({keys::kRoot, 0, n});
+  std::vector<Region> leaves;
+
+  while (!queue.empty() &&
+         static_cast<int>(queue.size() + leaves.size()) < n_pieces) {
+    Region r = queue.top();
+    queue.pop();
+    if (r.depth >= keys::kMortonBitsPerDim || r.count <= 1) {
+      leaves.push_back(r);
+      continue;
+    }
+    const int shift = keys::kMortonBits - 3 * (r.depth + 1);
+    std::uint64_t boundary = mortonRangeStart(r.key);
+    std::size_t below = keys.cntBelow(boundary);
+    for (unsigned c8 = 0; c8 < 8; ++c8) {
+      boundary += std::uint64_t{1} << shift;
+      const std::size_t next = keys.cntBelow(boundary);
+      const std::size_t cnt = next - below;
+      below = next;
+      if (cnt > 0) queue.push({keys::child(r.key, c8, 3), r.depth + 1, cnt});
+    }
+  }
+  while (!queue.empty()) {
+    leaves.push_back(queue.top());
+    queue.pop();
+  }
+
+  // Regions are disjoint key ranges, so Morton-range order reproduces the
+  // sort path's sort-by-begin order.
+  std::sort(leaves.begin(), leaves.end(), [](const Region& a, const Region& b) {
+    return mortonRangeStart(a.key) < mortonRangeStart(b.key);
+  });
+  std::vector<std::tuple<Key, int, std::size_t>> final_leaves;
+  final_leaves.reserve(leaves.size());
+  for (const Region& r : leaves) {
+    final_leaves.emplace_back(r.key, r.depth, r.count);
+  }
+  commitRegions(final_leaves, universe);
+
+  par.run(chunks, [&](int c) {
+    const auto cr = decomp::chunkOf(n, chunks, c);
+    for (std::size_t i = cr.begin; i < cr.end; ++i) {
+      assign(particles[i], target, pieceOf(particles[i]));
+    }
+  });
+  return static_cast<int>(regions_.size());
+}
+
+void OctDecomposition::commitRegions(
+    const std::vector<std::tuple<Key, int, std::size_t>>& leaves,
+    const OrientedBox& universe) {
+  regions_.clear();
+  range_starts_.clear();
+  for (const auto& [key, depth, count] : leaves) {
+    regions_.push_back({key, depth, keys::boxForOctKey(key, universe), count});
+    range_starts_.push_back(mortonRangeStart(key));
+  }
 }
 
 int OctDecomposition::pieceOf(const Particle& p) const {
@@ -153,6 +354,24 @@ int OctDecomposition::pieceOf(const Particle& p) const {
 
 // ---------------------------------------------------------------------------
 // Binary splits (k-d / longest-dimension)
+
+namespace {
+
+/// Order-preserving (w.r.t. double <) mapping from double to uint64 and
+/// back, so split planes can be found by integer bisection. -0.0 maps
+/// just below +0.0 — a tie-break refinement of the double order, which
+/// leaves every order statistic double-equal to the nth_element result.
+std::uint64_t mapDouble(double x) {
+  const auto u = std::bit_cast<std::uint64_t>(x);
+  return (u >> 63) ? ~u : (u | (std::uint64_t{1} << 63));
+}
+
+double unmapDouble(std::uint64_t u) {
+  return (u >> 63) ? std::bit_cast<double>(u & ~(std::uint64_t{1} << 63))
+                   : std::bit_cast<double>(~u);
+}
+
+}  // namespace
 
 int BinarySplitDecomposition::findSplitters(std::span<Particle> particles,
                                             const OrientedBox& universe,
@@ -181,17 +400,28 @@ int BinarySplitDecomposition::splitRecursive(std::span<Particle> particles,
   const std::size_t cut = particles.size() *
                           static_cast<std::size_t>(left_pieces) /
                           static_cast<std::size_t>(n_pieces);
-  const std::size_t dim = mode_ == Mode::kCycleDims
-                              ? static_cast<std::size_t>(depth) % 3
-                              : box.longestDimension();
-  std::nth_element(particles.begin(),
-                   particles.begin() + static_cast<std::ptrdiff_t>(cut),
-                   particles.end(),
-                   [dim](const Particle& a, const Particle& b) {
-                     return a.position[dim] < b.position[dim];
-                   });
-  const double plane =
-      cut < particles.size() ? particles[cut].position[dim] : box.greater_corner[dim];
+  const std::size_t dim = splitDimension(box, depth);
+  double plane;
+  if (particles.empty()) {
+    plane = box.greater_corner[dim];
+  } else {
+    std::nth_element(particles.begin(),
+                     particles.begin() + static_cast<std::ptrdiff_t>(cut),
+                     particles.end(),
+                     [dim](const Particle& a, const Particle& b) {
+                       return a.position[dim] < b.position[dim];
+                     });
+    plane = particles[cut].position[dim];
+  }
+  // Re-partition by pieceOf()'s rule (strictly-less goes left):
+  // nth_element may leave plane-valued particles on either side of the
+  // cut, which would make the assignment disagree with pieceOf() under
+  // coordinate ties at the plane.
+  const auto mid = std::partition(particles.begin(), particles.end(),
+                                  [dim, plane](const Particle& p) {
+                                    return p.position[dim] < plane;
+                                  });
+  const auto m = static_cast<std::size_t>(mid - particles.begin());
 
   OrientedBox left_box = box, right_box = box;
   left_box.greater_corner[dim] = plane;
@@ -200,15 +430,221 @@ int BinarySplitDecomposition::splitRecursive(std::span<Particle> particles,
   const int self = static_cast<int>(nodes_.size());
   nodes_.push_back({dim, plane, -1, -1});
   const int left =
-      splitRecursive(particles.first(cut), left_box,
-                     keys::child(key, 0, 1), depth + 1, left_pieces,
-                     first_piece, target);
+      splitRecursive(particles.first(m), left_box, keys::child(key, 0, 1),
+                     depth + 1, left_pieces, first_piece, target);
   const int right = splitRecursive(
-      particles.subspan(cut), right_box, keys::child(key, 1, 1), depth + 1,
+      particles.subspan(m), right_box, keys::child(key, 1, 1), depth + 1,
       n_pieces - left_pieces, first_piece + left_pieces, target);
   nodes_[static_cast<std::size_t>(self)].left = left;
   nodes_[static_cast<std::size_t>(self)].right = right;
   return self;
+}
+
+int BinarySplitDecomposition::findSplittersHistogram(
+    std::span<Particle> particles, const OrientedBox& universe, int n_pieces,
+    Target target, ParallelFor& par, int probes,
+    const decomp::SortedKeyScratch* /*scratch*/) {
+  assert(n_pieces > 0 && probes >= 1);
+  const std::size_t n = particles.size();
+  const int chunks = std::max(1, par.ways());
+  nodes_.clear();
+  regions_.clear();
+  regions_.resize(static_cast<std::size_t>(n_pieces));
+
+  // Level-synchronous construction of the same plane tree the recursive
+  // sort path builds: each level finds every active region's split plane
+  // (the cut-th order statistic of its coordinates, via integer bisection
+  // over mapDouble space) with shared counting passes. Codes stored in
+  // node links / root_ during construction:
+  //   >= 0             child node index
+  //   -1 .. -n_pieces  final leaf, piece = -code - 1
+  //   <  -n_pieces     pending region a = -code - n_pieces - 1
+  struct Pending {
+    Key key;
+    int depth;
+    OrientedBox box;
+    std::size_t count;
+    int np, first_piece;
+    int parent;  ///< node whose link to overwrite; -1 = root_
+    bool is_left;
+  };
+  auto writeSlot = [&](const Pending& pd, int code) {
+    if (pd.parent < 0) root_ = code;
+    else if (pd.is_left) nodes_[static_cast<std::size_t>(pd.parent)].left = code;
+    else nodes_[static_cast<std::size_t>(pd.parent)].right = code;
+  };
+  // Descend the partial tree; read-only during counting passes.
+  auto resolveCode = [&](const Particle& p) {
+    int cur = root_;
+    while (cur >= 0) {
+      const PlaneNode& nd = nodes_[static_cast<std::size_t>(cur)];
+      cur = p.position[nd.dim] < nd.plane ? nd.left : nd.right;
+    }
+    return cur;
+  };
+
+  std::vector<Pending> pending{
+      {keys::kRoot, 0, universe, n, n_pieces, 0, -1, false}};
+  std::vector<std::vector<std::size_t>> hist(
+      static_cast<std::size_t>(chunks));
+
+  while (!pending.empty()) {
+    // Finalize single-piece regions; the rest become this level's active
+    // set, their slots holding pending codes for the passes below.
+    std::vector<Pending> active;
+    for (const auto& pd : pending) {
+      if (pd.np == 1) {
+        writeSlot(pd, -(pd.first_piece + 1));
+        regions_[static_cast<std::size_t>(pd.first_piece)] =
+            SubtreeRegion{pd.key, pd.depth, pd.box, pd.count};
+      } else {
+        writeSlot(pd, -(n_pieces + 1 + static_cast<int>(active.size())));
+        active.push_back(pd);
+      }
+    }
+    if (active.empty()) break;
+
+    // The split target per active region: the smallest s with
+    // #(u < s) >= cut+1 is (cut-th order statistic) + 1 in mapped space.
+    // cntBelow(0) = 0 and cntBelow(2^64-1) = count for non-NaN
+    // coordinates, so the initial bracket invariant holds.
+    struct Split {
+      std::size_t dim{0}, cut{0}, t{0};
+      std::uint64_t lo{0}, hi{~std::uint64_t{0}};
+      bool resolved{false};
+      double plane{0.0};
+    };
+    std::vector<Split> splits(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const Pending& pd = active[a];
+      Split& s = splits[a];
+      s.dim = splitDimension(pd.box, pd.depth);
+      s.cut = pd.count * static_cast<std::size_t>(pd.np / 2) /
+              static_cast<std::size_t>(pd.np);
+      if (pd.count == 0) {
+        // Matches the sort path's empty-region plane.
+        s.resolved = true;
+        s.plane = pd.box.greater_corner[s.dim];
+      } else {
+        s.t = s.cut + 1;
+      }
+    }
+
+    std::vector<std::size_t> unres, off;
+    std::vector<std::uint64_t> pv;
+    std::vector<int> uidx(splits.size());
+    for (;;) {
+      unres.clear();
+      off.clear();
+      pv.clear();
+      std::fill(uidx.begin(), uidx.end(), -1);
+      for (std::size_t a = 0; a < splits.size(); ++a) {
+        Split& s = splits[a];
+        if (s.resolved) continue;
+        if (s.hi - s.lo <= 1) {
+          s.resolved = true;
+          s.plane = unmapDouble(s.hi - 1);
+          continue;
+        }
+        uidx[a] = static_cast<int>(unres.size());
+        unres.push_back(a);
+        off.push_back(pv.size());
+        appendProbes(s.lo, s.hi, probes, pv);
+      }
+      if (unres.empty()) break;
+      off.push_back(pv.size());
+
+      // Chunk-local histograms, one slot range per unresolved split
+      // (its probe count + 1), binned by upper_bound index of the
+      // particle's mapped coordinate among that split's probes.
+      par.run(chunks, [&](int c) {
+        auto& h = hist[static_cast<std::size_t>(c)];
+        h.assign(pv.size() + unres.size(), 0);
+        const auto cr = decomp::chunkOf(n, chunks, c);
+        for (std::size_t i = cr.begin; i < cr.end; ++i) {
+          const int code = resolveCode(particles[i]);
+          if (code >= -n_pieces) continue;  // settled leaf
+          const auto a =
+              static_cast<std::size_t>(-code - n_pieces - 1);
+          const int u = uidx[a];
+          if (u < 0) continue;  // region's plane already resolved
+          const std::uint64_t uv =
+              mapDouble(particles[i].position[splits[a].dim]);
+          const auto pb = pv.begin() + static_cast<std::ptrdiff_t>(
+                                           off[static_cast<std::size_t>(u)]);
+          const auto pe =
+              pv.begin() + static_cast<std::ptrdiff_t>(
+                               off[static_cast<std::size_t>(u) + 1]);
+          const auto j =
+              static_cast<std::size_t>(std::upper_bound(pb, pe, uv) - pb);
+          ++h[off[static_cast<std::size_t>(u)] +
+              static_cast<std::size_t>(u) + j];
+        }
+      });
+
+      // Inclusive prefix over each split's slots gives #(u < probe);
+      // narrow the bracket at the first probe meeting the target.
+      for (std::size_t u = 0; u < unres.size(); ++u) {
+        Split& s = splits[unres[u]];
+        const std::size_t m = off[u + 1] - off[u];
+        std::size_t cum = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+          for (int c = 0; c < chunks; ++c) {
+            cum += hist[static_cast<std::size_t>(c)][off[u] + u + j];
+          }
+          const std::uint64_t v = pv[off[u] + j];
+          if (cum < s.t) s.lo = v;
+          else { s.hi = v; break; }
+        }
+      }
+    }
+
+    // One pass with pieceOf()'s double comparison gives exact left
+    // counts (the mapped order is a refinement, so +/-0.0 could differ).
+    par.run(chunks, [&](int c) {
+      auto& h = hist[static_cast<std::size_t>(c)];
+      h.assign(active.size(), 0);
+      const auto cr = decomp::chunkOf(n, chunks, c);
+      for (std::size_t i = cr.begin; i < cr.end; ++i) {
+        const int code = resolveCode(particles[i]);
+        if (code >= -n_pieces) continue;
+        const auto a = static_cast<std::size_t>(-code - n_pieces - 1);
+        if (particles[i].position[splits[a].dim] < splits[a].plane) ++h[a];
+      }
+    });
+
+    std::vector<Pending> next;
+    next.reserve(active.size() * 2);
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const Pending& pd = active[a];
+      const Split& s = splits[a];
+      std::size_t m = 0;
+      for (int c = 0; c < chunks; ++c) {
+        m += hist[static_cast<std::size_t>(c)][a];
+      }
+      OrientedBox left_box = pd.box, right_box = pd.box;
+      left_box.greater_corner[s.dim] = s.plane;
+      right_box.lesser_corner[s.dim] = s.plane;
+      const int self = static_cast<int>(nodes_.size());
+      nodes_.push_back({s.dim, s.plane, -1, -1});
+      writeSlot(pd, self);
+      const int left_pieces = pd.np / 2;
+      next.push_back({keys::child(pd.key, 0, 1), pd.depth + 1, left_box, m,
+                      left_pieces, pd.first_piece, self, true});
+      next.push_back({keys::child(pd.key, 1, 1), pd.depth + 1, right_box,
+                      pd.count - m, pd.np - left_pieces,
+                      pd.first_piece + left_pieces, self, false});
+    }
+    pending = std::move(next);
+  }
+
+  par.run(chunks, [&](int c) {
+    const auto cr = decomp::chunkOf(n, chunks, c);
+    for (std::size_t i = cr.begin; i < cr.end; ++i) {
+      assign(particles[i], target, -resolveCode(particles[i]) - 1);
+    }
+  });
+  return n_pieces;
 }
 
 int BinarySplitDecomposition::pieceOf(const Particle& p) const {

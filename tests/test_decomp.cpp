@@ -104,6 +104,54 @@ TEST(SfcDecomposition, SlicesAreContiguousInKey) {
   }
 }
 
+TEST(SfcDecomposition, DuplicateKeysNeverStraddleASlice) {
+  // Regression: 50 coincident particles (one shared key) sitting across
+  // the k=4 slice boundaries at indices 50 and 75. The old findSplitters
+  // cut slices by index mid-run-of-equal-keys while pieceOf mapped by
+  // upper_bound over splitter keys, so boundary particles were assigned
+  // piece p at decomposition but piece p+1 on re-homing. Boundaries must
+  // snap to key runs: assignment and pieceOf agree exactly, and the
+  // coincident run lands in a single piece.
+  auto ic = uniformCube(100, 21);
+  const Vec3 shared = ic.positions[40];
+  for (std::size_t i = 41; i < 90; ++i) ic.positions[i] = shared;
+  OrientedBox universe;
+  auto ps = makeTestParticles(ic, universe);
+  SfcDecomposition decomp;
+  decomp.findSplitters(std::span<Particle>(ps), universe, 4,
+                       Decomposition::Target::kPartition);
+  int coincident_piece = -1;
+  for (const auto& p : ps) {
+    ASSERT_EQ(decomp.pieceOf(p), p.partition) << "order " << p.order;
+    if (p.position == shared) {
+      if (coincident_piece == -1) coincident_piece = p.partition;
+      EXPECT_EQ(p.partition, coincident_piece);
+    }
+  }
+}
+
+TEST(BinarySplitDecomposition, CoincidentCoordinatesNeverStraddleAPlane) {
+  // Same bug class as the SFC regression: nth_element may leave
+  // plane-valued particles on either side of the cut, while pieceOf
+  // routes strictly-less left. With a large run of duplicated
+  // coordinates at the median, assignment must still agree with pieceOf
+  // for every particle.
+  auto ic = uniformCube(120, 22);
+  for (std::size_t i = 40; i < 80; ++i) ic.positions[i].x = 0.5;
+  OrientedBox universe;
+  auto ps = makeTestParticles(ic, universe);
+  for (auto mode : {BinarySplitDecomposition::Mode::kCycleDims,
+                    BinarySplitDecomposition::Mode::kLongestDim}) {
+    auto copy = ps;
+    BinarySplitDecomposition decomp(mode);
+    decomp.findSplitters(std::span<Particle>(copy), universe, 4,
+                         Decomposition::Target::kPartition);
+    for (const auto& p : copy) {
+      ASSERT_EQ(decomp.pieceOf(p), p.partition) << "order " << p.order;
+    }
+  }
+}
+
 TEST(OctDecomposition, RegionsAreOctreeNodesCoveringParticles) {
   OrientedBox universe;
   auto ps = makeTestParticles(clustered(1500, 10, 5, 0.02), universe);

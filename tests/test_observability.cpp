@@ -391,14 +391,14 @@ TEST(Observability, DriverRejectsInvalidConfiguration) {
                std::invalid_argument);
 }
 
-TEST(Observability, DeprecatedProfilerOverloadStillWorks) {
+// A profiler-only Instrumentation (no registry, no trace) is the
+// migration target of the removed ActivityProfiler* overloads.
+TEST(Observability, ProfilerOnlyInstrumentationWorks) {
   rts::Runtime rt({2, 1});
   rts::ActivityProfiler profiler;
   SumMain app;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  app.run(rt, makeParticles(uniformCube(200, 5)), &profiler);
-#pragma GCC diagnostic pop
+  app.run(rt, makeParticles(uniformCube(200, 5)),
+          Instrumentation{&profiler, nullptr, nullptr});
   EXPECT_GT(profiler.seconds(rts::Activity::kTreeBuild), 0.0);
 }
 
