@@ -108,7 +108,8 @@ void writeJson(const std::string& path, std::size_t n, int reps,
 
 int main(int argc, char** argv) {
   std::string out = "BENCH_decomp.json";
-  bench::stripFlagArg(argc, argv, "--out=", out);
+  bench::ArgParser args(argc, argv);
+  args.flag("--out=", out);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200000;
   const int reps = argc > 2 ? std::atoi(argv[2]) : 5;
   const std::vector<int> worker_counts{1, 2, 4, 8};

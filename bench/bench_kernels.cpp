@@ -229,7 +229,8 @@ void writeJson(const std::string& path, std::size_t n, int bucket_size,
 
 int main(int argc, char** argv) {
   std::string out = "BENCH_kernels.json";
-  bench::stripFlagArg(argc, argv, "--out=", out);
+  bench::ArgParser args(argc, argv);
+  args.flag("--out=", out);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30000;
   const int reps = argc > 2 ? std::atoi(argv[2]) : 5;
   const int bucket_size = 64;  // long contiguous spans: the SoA regime

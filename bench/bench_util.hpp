@@ -24,140 +24,182 @@
 
 namespace paratreet::bench {
 
-/// Strip every occurrence of `--<flag>=<value>` from argv — wherever it
-/// appears, so positional-argument indices are unaffected — and store the
-/// last value seen. Returns true when the flag was present. `flag` must
-/// include the trailing '=' (e.g. "--metrics-out=").
-inline bool stripFlagArg(int& argc, char** argv, std::string_view flag,
-                         std::string& value) {
-  bool found = false;
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.substr(0, flag.size()) == flag) {
-      value = std::string(arg.substr(flag.size()));
-      found = true;
-    } else {
-      argv[kept++] = argv[i];
+/// The one shared `--flag=value` parser of every bundled binary
+/// (quickstart, gravity_sim, the bench_* harnesses). Construct it over
+/// main()'s argc/argv; each accessor strips its flags from argv in place
+/// — wherever they appear, so positional-argument indices are unaffected
+/// — applies defaults, and rejects malformed values with a usage message
+/// and exit(2) rather than silently benchmarking the wrong thing.
+///
+/// Flags, by accessor:
+///   metricsOut()      --metrics-out=<file>        ("-" = stdout)
+///   chaos()           --chaos-seed=<n> --fault-drop=<p>
+///   checkpointInto()  --checkpoint-every=K --crash-at-step=N
+///                     --recovery-mode=restart|shrink --drain-deadline-ms=T
+///   kernel()          --kernel=visitor|batched
+///   decompImpl()      --decomp-impl=sort|histogram
+///   transport()       --transport=inproc|tcp --tcp-host=<ip> --tcp-port=<n>
+class ArgParser {
+ public:
+  ArgParser(int& argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  /// Strip every occurrence of `--<name>=<value>` and store the last
+  /// value seen; true when the flag was present. `name` must include the
+  /// trailing '=' (e.g. "--out=").
+  bool flag(std::string_view name, std::string& value) {
+    bool found = false;
+    int kept = 1;
+    for (int i = 1; i < argc_; ++i) {
+      const std::string_view arg = argv_[i];
+      if (arg.substr(0, name.size()) == name) {
+        value = std::string(arg.substr(name.size()));
+        found = true;
+      } else {
+        argv_[kept++] = argv_[i];
+      }
+    }
+    argc_ = kept;
+    return found;
+  }
+
+  /// `--metrics-out=<path>`: the path ("-" means stdout; empty when the
+  /// flag is absent). Every bench shares this one flag as its way to opt
+  /// into the observability layer.
+  std::string metricsOut() {
+    std::string path;
+    flag("--metrics-out=", path);
+    return path;
+  }
+
+  /// The chaos flags:
+  ///
+  ///   --chaos-seed=<n>   enable fault injection with seed n and a
+  ///                      standard mixed schedule (drops, duplicates,
+  ///                      delays, a few reorders) unless probabilities
+  ///                      are given explicitly
+  ///   --fault-drop=<p>   enable injection and set the drop probability
+  ///
+  /// Returns a disabled config when neither flag is present. Enabled
+  /// schedules arm the drain watchdog (30 s) so a bug in resilient
+  /// delivery surfaces as a thrown diagnostic instead of a hung bench.
+  rts::FaultConfig chaos() {
+    rts::FaultConfig fault;
+    std::string value;
+    if (flag("--chaos-seed=", value)) {
+      fault.enabled = true;
+      fault.seed = std::strtoull(value.c_str(), nullptr, 10);
+      fault.drop_p = 0.1;
+      fault.duplicate_p = 0.05;
+      fault.delay_p = 0.1;
+      fault.reorder_p = 0.05;
+    }
+    if (flag("--fault-drop=", value)) {
+      fault.enabled = true;
+      fault.drop_p = std::strtod(value.c_str(), nullptr);
+    }
+    if (fault.enabled) fault.drain_deadline_ms = 30000.0;
+    return fault;
+  }
+
+  /// The checkpoint/crash flags, applied to `conf`:
+  ///
+  ///   --checkpoint-every=K   double in-memory checkpoint after every
+  ///                          K-th iteration (0 disables; default off)
+  ///   --crash-at-step=N      kill one seeded rank mid-iteration N; with
+  ///                          checkpointing on the run recovers from the
+  ///                          newest sealed generation and resumes,
+  ///                          without it the crash surfaces as a thrown
+  ///                          QuiescenceTimeout diagnostic (never a hang)
+  ///   --recovery-mode=restart|shrink
+  ///                          restart the dead rank (default) or shrink
+  ///                          the run onto the survivors
+  ///   --drain-deadline-ms=T  watchdog deadline (crash-detection
+  ///                          latency); defaults to 30 s when a crash is
+  ///                          scheduled
+  ///
+  /// The crash victim and its task budget stay seeded (fault.seed,
+  /// shared with --chaos-seed), so sweeps over seeds vary where the
+  /// crash lands.
+  void checkpointInto(Configuration& conf) {
+    std::string value;
+    if (flag("--checkpoint-every=", value)) {
+      conf.checkpoint_every = std::atoi(value.c_str());
+    }
+    if (flag("--crash-at-step=", value)) {
+      conf.fault.crash_step = std::atoi(value.c_str());
+    }
+    if (flag("--drain-deadline-ms=", value)) {
+      conf.fault.drain_deadline_ms = std::strtod(value.c_str(), nullptr);
+    }
+    if (flag("--recovery-mode=", value)) {
+      if (!fromString(value, conf.recovery_mode)) {
+        usageError("--recovery-mode=", "'restart' or 'shrink'", value);
+      }
     }
   }
-  argc = kept;
-  return found;
-}
 
-/// Strip a `--metrics-out=<path>` flag and return the path ("-" means
-/// stdout; empty when the flag is absent). Every bench shares this one
-/// flag as its way to opt into the observability layer.
-inline std::string stripMetricsOutArg(int& argc, char** argv) {
-  std::string path;
-  stripFlagArg(argc, argv, "--metrics-out=", path);
-  return path;
-}
+  /// `--kernel=visitor|batched`: the selected evaluation kernel
+  /// (default: the inline visitor path). "batched" selects the two-phase
+  /// interaction-list path with SoA batch kernels (core/batch_eval.hpp).
+  EvalKernel kernel() {
+    std::string value;
+    if (!flag("--kernel=", value)) return EvalKernel::kVisitor;
+    if (value == "visitor") return EvalKernel::kVisitor;
+    if (value == "batched") return EvalKernel::kBatched;
+    usageError("--kernel=", "'visitor' or 'batched'", value);
+  }
 
-/// Strip the shared chaos flags and return the resulting fault schedule:
-///
-///   --chaos-seed=<n>   enable fault injection with seed n and a standard
-///                      mixed schedule (drops, duplicates, delays, a few
-///                      reorders) unless probabilities are given explicitly
-///   --fault-drop=<p>   enable injection and set the drop probability
-///
-/// Returns a disabled config when neither flag is present. Enabled
-/// schedules arm the drain watchdog (30 s) so a bug in resilient delivery
-/// surfaces as a thrown diagnostic instead of a hung bench.
-inline rts::FaultConfig stripChaosArgs(int& argc, char** argv) {
-  rts::FaultConfig fault;
-  std::string value;
-  if (stripFlagArg(argc, argv, "--chaos-seed=", value)) {
-    fault.enabled = true;
-    fault.seed = std::strtoull(value.c_str(), nullptr, 10);
-    fault.drop_p = 0.1;
-    fault.duplicate_p = 0.05;
-    fault.delay_p = 0.1;
-    fault.reorder_p = 0.05;
-  }
-  if (stripFlagArg(argc, argv, "--fault-drop=", value)) {
-    fault.enabled = true;
-    fault.drop_p = std::strtod(value.c_str(), nullptr);
-  }
-  if (fault.enabled) fault.drain_deadline_ms = 30000.0;
-  return fault;
-}
-
-/// Strip the checkpoint/crash flags and apply them to `conf`:
-///
-///   --checkpoint-every=K   double in-memory checkpoint after every K-th
-///                          iteration (0 disables; default off)
-///   --crash-at-step=N      kill one seeded rank mid-iteration N; with
-///                          checkpointing on the run recovers from the
-///                          newest sealed generation and resumes, without
-///                          it the crash surfaces as a thrown
-///                          QuiescenceTimeout diagnostic (never a hang)
-///   --recovery-mode=restart|shrink
-///                          restart the dead rank (default) or shrink the
-///                          run onto the survivors
-///   --drain-deadline-ms=T  watchdog deadline (crash-detection latency);
-///                          defaults to 30 s when a crash is scheduled
-///
-/// The crash victim and its task budget stay seeded (fault.seed, shared
-/// with --chaos-seed), so sweeps over seeds vary where the crash lands.
-inline void stripCheckpointArgs(int& argc, char** argv, Configuration& conf) {
-  std::string value;
-  if (stripFlagArg(argc, argv, "--checkpoint-every=", value)) {
-    conf.checkpoint_every = std::atoi(value.c_str());
-  }
-  if (stripFlagArg(argc, argv, "--crash-at-step=", value)) {
-    conf.fault.crash_step = std::atoi(value.c_str());
-  }
-  if (stripFlagArg(argc, argv, "--drain-deadline-ms=", value)) {
-    conf.fault.drain_deadline_ms = std::strtod(value.c_str(), nullptr);
-  }
-  if (stripFlagArg(argc, argv, "--recovery-mode=", value)) {
-    if (!fromString(value, conf.recovery_mode)) {
-      std::fprintf(stderr,
-                   "--recovery-mode= expects 'restart' or 'shrink', got '%s'\n",
-                   value.c_str());
-      std::exit(2);
+  /// `--decomp-impl=sort|histogram`: the selected decomposition
+  /// implementation (default: the parallel histogram pipeline). "sort"
+  /// selects the serial full-sort reference path kept for A/B
+  /// validation; both produce identical piece assignments.
+  DecompImpl decompImpl() {
+    std::string value;
+    if (!flag("--decomp-impl=", value)) return DecompImpl::kHistogram;
+    DecompImpl impl;
+    if (!fromString(value, impl)) {
+      usageError("--decomp-impl=", "'sort' or 'histogram'", value);
     }
+    return impl;
   }
-}
 
-/// Strip a `--kernel=visitor|batched` flag and return the selected
-/// evaluation kernel (default: the inline visitor path). "batched"
-/// selects the two-phase interaction-list path with SoA batch kernels
-/// (core/batch_eval.hpp). Unknown values abort with a usage message
-/// rather than silently benchmarking the wrong thing.
-inline EvalKernel stripKernelArg(int& argc, char** argv) {
-  std::string value;
-  if (!stripFlagArg(argc, argv, "--kernel=", value)) {
-    return EvalKernel::kVisitor;
+  /// The transport flags (README "Running ranks as processes"):
+  ///
+  ///   --transport=inproc|tcp  which backend carries cross-rank messages:
+  ///                           per-proc queues in one address space
+  ///                           (default) or each rank a forked OS process
+  ///                           speaking length-prefixed frames over
+  ///                           sockets
+  ///   --tcp-host=<ip>         IPv4 literal the rank processes dial back
+  ///                           to (default 127.0.0.1)
+  ///   --tcp-port=<n>          listening port (default 0 = ephemeral)
+  ///
+  /// Plumb the result into both Configuration::transport (declarative,
+  /// validated) and Runtime::Config::transport (what the runtime builds).
+  rts::TransportConfig transport() {
+    rts::TransportConfig t;
+    std::string value;
+    if (flag("--transport=", value)) {
+      if (!rts::fromString(value, t.kind)) {
+        usageError("--transport=", "'inproc' or 'tcp'", value);
+      }
+    }
+    if (flag("--tcp-host=", value)) t.host = value;
+    if (flag("--tcp-port=", value)) t.port = std::atoi(value.c_str());
+    return t;
   }
-  if (value == "visitor") return EvalKernel::kVisitor;
-  if (value == "batched") return EvalKernel::kBatched;
-  std::fprintf(stderr, "--kernel= expects 'visitor' or 'batched', got '%s'\n",
-               value.c_str());
-  std::exit(2);
-}
 
-/// Strip a `--decomp-impl=sort|histogram` flag and return the selected
-/// decomposition implementation (default: the parallel histogram
-/// pipeline). "sort" selects the serial full-sort reference path kept
-/// for A/B validation; both produce identical piece assignments.
-/// Unknown values abort with a usage message rather than silently
-/// benchmarking the wrong thing.
-inline DecompImpl stripDecompImplArg(int& argc, char** argv) {
-  std::string value;
-  if (!stripFlagArg(argc, argv, "--decomp-impl=", value)) {
-    return DecompImpl::kHistogram;
-  }
-  DecompImpl impl;
-  if (!fromString(value, impl)) {
-    std::fprintf(stderr,
-                 "--decomp-impl= expects 'sort' or 'histogram', got '%s'\n",
-                 value.c_str());
+ private:
+  [[noreturn]] static void usageError(const char* name, const char* expected,
+                                      const std::string& got) {
+    std::fprintf(stderr, "%s expects %s, got '%s'\n", name, expected,
+                 got.c_str());
     std::exit(2);
   }
-  return impl;
-}
+
+  int& argc_;
+  char** argv_;
+};
 
 /// End-of-run half of the --metrics-out story: no-op when `path` is empty,
 /// otherwise serialize the run's instrumentation as one JSON report.

@@ -108,7 +108,8 @@ Series runChanga(std::size_t n, int procs, int workers, int iterations,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const EvalKernel kernel = bench::stripKernelArg(argc, argv);
+  bench::ArgParser args(argc, argv);
+  const EvalKernel kernel = args.kernel();
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
   const int iterations = argc > 2 ? std::atoi(argv[2]) : 2;
 

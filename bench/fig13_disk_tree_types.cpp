@@ -111,7 +111,8 @@ Result runChanga(const InitialConditions& ic, int procs, int workers,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics_out = bench::stripMetricsOutArg(argc, argv);
+  bench::ArgParser args(argc, argv);
+  const std::string metrics_out = args.metricsOut();
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
   const int iterations = argc > 2 ? std::atoi(argv[2]) : 2;
   // With --metrics-out, every ParaTreeT series accumulates into one

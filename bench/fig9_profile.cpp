@@ -19,7 +19,8 @@
 using namespace paratreet;
 
 int main(int argc, char** argv) {
-  const std::string metrics_out = bench::stripMetricsOutArg(argc, argv);
+  bench::ArgParser args(argc, argv);
+  const std::string metrics_out = args.metricsOut();
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40000;
   const int procs = argc > 2 ? std::atoi(argv[2]) : 4;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 2;

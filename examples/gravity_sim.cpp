@@ -6,6 +6,7 @@
 // Usage: gravity_sim [n_particles] [n_steps] [n_procs] [workers]
 //                    [--checkpoint-every=K] [--crash-at-step=N]
 //                    [--recovery-mode=restart|shrink] [--chaos-seed=<n>]
+//                    [--transport=inproc|tcp]
 //
 // --checkpoint-every / --crash-at-step exercise the rank-crash fault
 // tolerance: one seeded rank dies mid-iteration N and, with
@@ -75,14 +76,20 @@ class GravityMain : public Driver<CentroidData, OctTreeType> {
 
 int main(int argc, char** argv) {
   Configuration cli;
-  cli.fault = bench::stripChaosArgs(argc, argv);
-  bench::stripCheckpointArgs(argc, argv, cli);
+  bench::ArgParser args(argc, argv);
+  cli.fault = args.chaos();
+  args.checkpointInto(cli);
+  cli.transport = args.transport();
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
   const int steps = argc > 2 ? std::atoi(argv[2]) : 10;
   const int procs = argc > 3 ? std::atoi(argv[3]) : 2;
   const int workers = argc > 4 ? std::atoi(argv[4]) : 2;
 
-  rts::Runtime rt({procs, workers});
+  rts::Runtime::Config rt_config;
+  rt_config.n_procs = procs;
+  rt_config.workers_per_proc = workers;
+  rt_config.transport = cli.transport;
+  rts::Runtime rt(rt_config);
   GravityMain app;
   app.steps = steps;
   app.cli = cli;
@@ -90,6 +97,9 @@ int main(int argc, char** argv) {
   std::printf("Barnes-Hut gravity: %zu particles (Plummer), %d steps, "
               "%d procs x %d workers\n",
               n, steps, procs, workers);
+  if (cli.transport.kind != rts::TransportKind::kInProc) {
+    std::printf("transport: %s\n", rts::toString(cli.transport.kind).c_str());
+  }
   if (cli.checkpoint_every > 0) {
     std::printf("checkpointing every %d step(s), recovery mode: %s\n",
                 cli.checkpoint_every, toString(cli.recovery_mode).c_str());

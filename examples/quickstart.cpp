@@ -9,6 +9,7 @@
 // Usage: quickstart [n_particles] [n_procs] [workers_per_proc]
 //                    [--metrics-out=<file>] [--chaos-seed=<n>]
 //                    [--fault-drop=<p>] [--decomp-impl=sort|histogram]
+//                    [--transport=inproc|tcp]
 //
 // --metrics-out enables the observability layer (metrics registry, trace
 // buffer, activity profiler) and writes its JSON report to <file>
@@ -94,11 +95,13 @@ struct MassInBallVisitor {
 };
 
 int main(int argc, char** argv) {
-  // Strip the optional flags (shared bench/ parser) before positionals.
-  const std::string metrics_out = bench::stripMetricsOutArg(argc, argv);
+  // Strip the optional flags (shared bench::ArgParser) before positionals.
+  bench::ArgParser args(argc, argv);
+  const std::string metrics_out = args.metricsOut();
   const bool metrics_enabled = !metrics_out.empty();
-  const rts::FaultConfig fault = bench::stripChaosArgs(argc, argv);
-  const DecompImpl decomp_impl = bench::stripDecompImplArg(argc, argv);
+  const rts::FaultConfig fault = args.chaos();
+  const DecompImpl decomp_impl = args.decompImpl();
+  const rts::TransportConfig transport = args.transport();
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
   const int procs = argc > 2 ? std::atoi(argv[2]) : 2;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
@@ -108,8 +111,10 @@ int main(int argc, char** argv) {
   rt_config.n_procs = procs;
   rt_config.workers_per_proc = workers;
   rt_config.fault = fault;
+  rt_config.transport = transport;
   rts::Runtime rt(rt_config);
   Configuration conf;
+  conf.transport = transport;
   conf.tree_type = TreeType::eOct;
   conf.decomp_type = DecompType::eSfc;  // SFC partitions + octree subtrees
   conf.min_partitions = 4 * procs * workers;

@@ -449,13 +449,17 @@ class CacheManager {
     CacheManager* req_cache = this;
     auto* caches = all_caches_;
     // Request message: key + routing metadata.
-    rt_->send(proc_, home, sizeof(Key) + 3 * sizeof(int),
-              [caches, home, key, requester, req_cache, ph, worker_slot,
-               fetch_id, attempt] {
-                (*caches)[static_cast<std::size_t>(home)].serveRequest(
-                    key, requester, req_cache, ph, worker_slot, fetch_id,
-                    attempt);
-              });
+    rts::Message req;
+    req.from = proc_;
+    req.to = home;
+    req.bytes = sizeof(Key) + 3 * sizeof(int);
+    req.kind = rts::MessageKind::kRequest;
+    req.on_receive = [caches, home, key, requester, req_cache, ph,
+                      worker_slot, fetch_id, attempt] {
+      (*caches)[static_cast<std::size_t>(home)].serveRequest(
+          key, requester, req_cache, ph, worker_slot, fetch_id, attempt);
+    };
+    rt_->send(std::move(req));
   }
 
   /// Home side (Fig 2, Step 1): serialize the region and reply. An
@@ -472,11 +476,15 @@ class CacheManager {
         inj != nullptr &&
         inj->onFetch(fetch_id, static_cast<std::uint32_t>(attempt))) {
       rt_->noteFault(rts::FaultKind::kFetchFail);
-      rt_->send(proc_, requester, sizeof(Key) + 2 * sizeof(int),
-                [req_cache, ph, worker_slot, fetch_id, attempt] {
-                  req_cache->handleFetchFailure(ph, worker_slot, fetch_id,
-                                                attempt);
-                });
+      rts::Message nack;
+      nack.from = proc_;
+      nack.to = requester;
+      nack.bytes = sizeof(Key) + 2 * sizeof(int);
+      nack.kind = rts::MessageKind::kResponse;
+      nack.on_receive = [req_cache, ph, worker_slot, fetch_id, attempt] {
+        req_cache->handleFetchFailure(ph, worker_slot, fetch_id, attempt);
+      };
+      rt_->send(std::move(nack));
       return;
     }
     Node<Data>* node = localNode(key);
@@ -484,9 +492,15 @@ class CacheManager {
     auto block = std::make_shared<ResponseBlock<Data>>(
         serializeRegion(node, opts_.fetch_depth));
     const std::size_t bytes = block->byteSize();
-    rt_->send(proc_, requester, bytes, [req_cache, block, ph, worker_slot, bytes] {
+    rts::Message resp;
+    resp.from = proc_;
+    resp.to = requester;
+    resp.bytes = bytes;
+    resp.kind = rts::MessageKind::kResponse;
+    resp.on_receive = [req_cache, block, ph, worker_slot, bytes] {
       req_cache->handleResponse(std::move(block), ph, worker_slot, bytes);
-    });
+    };
+    rt_->send(std::move(resp));
   }
 
   /// Requester side of a nacked fill: retry while the budget allows,

@@ -112,6 +112,9 @@ std::string Configuration::validate() const {
   if (auto err = fault.validate(); !err.empty()) {
     return "Configuration.fault." + err;
   }
+  if (auto err = transport.validate(); !err.empty()) {
+    return "Configuration.transport." + err;
+  }
   return {};
 }
 

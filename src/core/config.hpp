@@ -5,6 +5,7 @@
 
 #include "decomp/decomposition.hpp"
 #include "rts/fault.hpp"
+#include "rts/transport.hpp"
 
 namespace paratreet {
 
@@ -105,6 +106,17 @@ struct Configuration {
   /// by default; Driver::run() applies it to the Runtime via
   /// configureFaults() when enabled (or when a drain deadline is set).
   rts::FaultConfig fault{};
+
+  // --- transport (README "Running ranks as processes") ----------------------
+  /// Which backend carries cross-rank messages: "inproc" (default,
+  /// per-proc queues in one address space) or "tcp" (each rank a forked
+  /// OS process speaking length-prefixed frames over sockets). The
+  /// Runtime is constructed before the Driver sees the Configuration, so
+  /// applications plumb this into Runtime::Config::transport themselves
+  /// (the bundled binaries parse it with bench::ArgParser::transport()
+  /// and set both); carrying it here keeps selection declarative and
+  /// validated alongside every other run parameter.
+  rts::TransportConfig transport{};
 
   // --- checkpoint / recovery (README "Checkpoint / recovery") ---------------
   /// Double in-memory checkpoint cadence: after every checkpoint_every-th

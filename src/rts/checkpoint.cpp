@@ -71,13 +71,22 @@ void CheckpointStore::commit(int rank, int step,
   commits_.fetch_add(1, std::memory_order_relaxed);
   if (bytes_metric_ != nullptr) bytes_metric_->add(size);
   if (buddy != rank) {
-    // Ship the second copy; modeled as ordinary message traffic so the
+    // Ship the second copy; counted as ordinary message traffic so the
     // checkpoint's communication volume shows up in rts.message_bytes.
-    auto copy = std::move(bytes);
-    rt_->send(rank, buddy, copy.size(),
-              [this, buddy, rank, step, c = std::move(copy)]() mutable {
-                storeHeld(buddy, rank, step, std::move(c));
-              });
+    // The serialized chunk rides as the message's real wire payload: a
+    // socket transport ships these exact bytes to the buddy's process.
+    auto copy =
+        std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+    Message msg;
+    msg.from = rank;
+    msg.to = buddy;
+    msg.bytes = copy->size();
+    msg.kind = MessageKind::kCheckpoint;
+    msg.payload = copy;
+    msg.on_receive = [this, buddy, rank, step, copy] {
+      storeHeld(buddy, rank, step, std::vector<std::byte>(*copy));
+    };
+    rt_->send(std::move(msg));
   }
 }
 

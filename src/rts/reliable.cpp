@@ -27,20 +27,33 @@ ReliableLayer::ReliableLayer(Runtime& rt, FaultInjector& injector)
 
 ReliableLayer::~ReliableLayer() = default;
 
-void ReliableLayer::send(int from, int to, std::size_t bytes,
-                         Task on_receive) {
+void ReliableLayer::send(Message msg) {
   auto p = std::make_shared<Pending>();
   p->seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  p->from = from;
-  p->to = to;
-  p->bytes = bytes;
-  p->payload = std::move(on_receive);
+  p->from = msg.from;
+  p->to = msg.to;
+  p->bytes = msg.bytes;
+  p->kind = msg.kind;
+  p->payload = std::move(msg.on_receive);
+  p->wire_payload = std::move(msg.payload);
   {
-    std::lock_guard lock(procs_[static_cast<std::size_t>(from)]->mutex);
-    procs_[static_cast<std::size_t>(from)]->pending.emplace(p->seq, p);
+    std::lock_guard lock(procs_[static_cast<std::size_t>(p->from)]->mutex);
+    procs_[static_cast<std::size_t>(p->from)]->pending.emplace(p->seq, p);
   }
   inflight_.fetch_add(1, std::memory_order_relaxed);
   transmit(p);
+}
+
+Message ReliableLayer::wireCopy(const std::shared_ptr<Pending>& p,
+                                Task on_receive) {
+  Message copy;
+  copy.from = p->from;
+  copy.to = p->to;
+  copy.bytes = p->bytes;
+  copy.kind = p->kind;
+  copy.payload = p->wire_payload;
+  copy.on_receive = std::move(on_receive);
+  return copy;
 }
 
 void ReliableLayer::transmit(const std::shared_ptr<Pending>& p) {
@@ -64,13 +77,13 @@ void ReliableLayer::transmit(const std::shared_ptr<Pending>& p) {
       rt_.noteFault(FaultKind::kReorder);
       traceFault("rts.fault.reorder");
     }
-    rt_.enqueueAfterUs(p->to, wire_us + d.delay_us,
-                       [this, p] { deliver(p); });
+    rt_.transport().deliver(wireCopy(p, [this, p] { deliver(p); }),
+                            wire_us + d.delay_us);
     if (d.duplicate) {
       rt_.noteFault(FaultKind::kDuplicate);
       traceFault("rts.fault.duplicate");
-      rt_.enqueueAfterUs(p->to, wire_us + d.delay_us + d.duplicate_skew_us,
-                         [this, p] { deliver(p); });
+      rt_.transport().deliver(wireCopy(p, [this, p] { deliver(p); }),
+                              wire_us + d.delay_us + d.duplicate_skew_us);
     }
   }
   // Exactly one ack-timeout timer per live message, rearmed on each
@@ -105,8 +118,15 @@ void ReliableLayer::deliver(const std::shared_ptr<Pending>& p) {
     traceFault("rts.dup_suppressed");
   }
   // Always ack — a re-ack covers the retransmission-after-lost-copy case.
-  rt_.enqueueAfterUs(p->from, rt_.config_.comm.costUs(kAckBytes),
-                     [this, p] { handleAck(p); });
+  // Acks are wire traffic too: they ride the transport as kAck control
+  // frames (but are never themselves injected with faults).
+  Message ack;
+  ack.from = p->to;
+  ack.to = p->from;
+  ack.bytes = kAckBytes;
+  ack.kind = MessageKind::kAck;
+  ack.on_receive = [this, p] { handleAck(p); };
+  rt_.transport().deliver(std::move(ack), rt_.config_.comm.costUs(kAckBytes));
 }
 
 void ReliableLayer::handleAck(const std::shared_ptr<Pending>& p) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rts/fault.hpp"
+#include "rts/transport.hpp"
 
 namespace paratreet::rts {
 
@@ -36,10 +37,22 @@ class ReliableLayer {
   ReliableLayer(Runtime& rt, FaultInjector& injector);
   ~ReliableLayer();
 
-  /// Transmit `on_receive` from `from` to `to` with delivery guarantees;
-  /// it runs exactly once on `to` (unless the message becomes
-  /// undeliverable under the configured retry budget).
-  void send(int from, int to, std::size_t bytes, Task on_receive);
+  /// Transmit one message with delivery guarantees; its on_receive runs
+  /// exactly once on `msg.to` (unless the message becomes undeliverable
+  /// under the configured retry budget). Physical copies — first
+  /// transmission, retransmissions, injected duplicates, acks — travel
+  /// over the runtime's Transport; ack-timeout timers stay local.
+  void send(Message msg);
+
+  /// Positional legacy form, mirroring Runtime::send()'s overload.
+  void send(int from, int to, std::size_t bytes, Task on_receive) {
+    Message msg;
+    msg.from = from;
+    msg.to = to;
+    msg.bytes = bytes;
+    msg.on_receive = std::move(on_receive);
+    send(std::move(msg));
+  }
 
   /// Stop all retransmit chains: pending entries are released as their
   /// timers fire. Used by Runtime teardown after a watchdog abort so the
@@ -84,7 +97,11 @@ class ReliableLayer {
     int from = 0;
     int to = 0;
     std::size_t bytes = 0;
+    MessageKind kind = MessageKind::kData;
     Task payload;
+    /// Real serialized bytes, when the message carries them: every
+    /// physical copy (including retransmissions) ships them on the wire.
+    std::shared_ptr<const std::vector<std::byte>> wire_payload;
     // Guarded by the sender-side ProcState mutex:
     int attempts = 0;
     bool acked = false;
@@ -102,6 +119,8 @@ class ReliableLayer {
   /// One physical transmission attempt: consult the injector, schedule
   /// the surviving copies, arm the ack timer.
   void transmit(const std::shared_ptr<Pending>& p);
+  /// Build the Message for one physical copy of `p` (transport-bound).
+  Message wireCopy(const std::shared_ptr<Pending>& p, Task on_receive);
   /// Runs on the destination proc for each arriving copy.
   void deliver(const std::shared_ptr<Pending>& p);
   /// Runs on the source proc when an ack arrives.

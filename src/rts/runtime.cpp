@@ -31,6 +31,10 @@ Runtime::Runtime(Config config)
         -1, std::memory_order_relaxed);
   }
   configureFaults(config_.fault);
+  // The transport comes up before any worker thread exists: a process-
+  // spawning backend must fork from a single-threaded address space.
+  transport_ = makeTransport(config_.transport);
+  transport_->start(*this);
   threads_.reserve(static_cast<std::size_t>(numWorkers()));
   for (int p = 0; p < config_.n_procs; ++p) {
     for (int w = 0; w < config_.workers_per_proc; ++w) {
@@ -46,9 +50,17 @@ Runtime::~Runtime() {
     rel->abandonAll();
   }
   // Tasks piled up on an unrecovered crashed rank would keep pending_
-  // above zero forever; discard them unrun.
+  // above zero forever; discard them unrun. Exclude-then-purge (the
+  // recovery idiom): a transport endpoint death racing this teardown may
+  // still flush orphaned deliveries at the rank, and the excluded flag
+  // turns those into accounted drops instead of fresh backlog.
   for (int p = 0; p < config_.n_procs; ++p) {
-    if (queues_[p]->crashed.load(std::memory_order_acquire)) {
+    auto& q = *queues_[p];
+    if (q.crashed.load(std::memory_order_acquire)) {
+      {
+        std::lock_guard lock(q.mutex);
+        q.excluded.store(true, std::memory_order_release);
+      }
       purgeRankQueues(p);
     }
   }
@@ -59,6 +71,9 @@ Runtime::~Runtime() {
     q->cv.notify_all();
   }
   for (auto& t : threads_) t.join();
+  // Tear the wire down only after the drain and the joins: no worker can
+  // originate another frame, and every receipt has been consumed.
+  transport_->stop();
 }
 
 void Runtime::configureFaults(const FaultConfig& fault) {
@@ -197,31 +212,29 @@ void Runtime::enqueueAfterUs(int proc, double delay_us, Task task) {
   q.cv.notify_one();
 }
 
-void Runtime::send(int from, int to, std::size_t bytes, Task on_receive) {
-  checkRank("Runtime::send", "source", from);
-  checkRank("Runtime::send", "destination", to);
+void Runtime::send(Message msg) {
+  checkRank("Runtime::send", "source", msg.from);
+  checkRank("Runtime::send", "destination", msg.to);
   // Dropped before entering the reliable layer: retransmitting into a
   // rank the recovery already excluded would only burn the retry budget.
-  if (queues_[to]->excluded.load(std::memory_order_acquire)) return;
+  if (queues_[msg.to]->excluded.load(std::memory_order_acquire)) return;
   msg_count_.fetch_add(1, std::memory_order_relaxed);
-  msg_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  msg_bytes_.fetch_add(msg.bytes, std::memory_order_relaxed);
   if (auto* m = metrics_.load(std::memory_order_acquire)) {
     m->messages->add(1);
-    m->message_bytes->add(bytes);
+    m->message_bytes->add(msg.bytes);
   }
-  if (from == to) {  // local delivery: nothing to lose on the wire
-    enqueue(to, std::move(on_receive));
+  if (msg.from == msg.to) {  // local delivery: nothing to lose on the wire
+    enqueue(msg.to, std::move(msg.on_receive));
     return;
   }
   if (auto* rel = reliable_ptr_.load(std::memory_order_acquire)) {
-    rel->send(from, to, bytes, std::move(on_receive));
+    rel->send(std::move(msg));
     return;
   }
-  if (!config_.comm.enabled()) {
-    enqueue(to, std::move(on_receive));
-    return;
-  }
-  enqueueAfterUs(to, config_.comm.costUs(bytes), std::move(on_receive));
+  const double delay_us =
+      config_.comm.enabled() ? config_.comm.costUs(msg.bytes) : 0.0;
+  transport_->deliver(std::move(msg), delay_us);
 }
 
 void Runtime::broadcast(std::function<void(int)> fn) {
@@ -264,6 +277,7 @@ std::string Runtime::quiescenceDiagnostic() {
                     " ms; " +
                     std::to_string(pending_.load(std::memory_order_acquire)) +
                     " task(s)/message(s) pending\n";
+  out += "transport: " + transport_->describe() + "\n";
   out += "per-proc queues (ready/delayed):\n";
   std::string dead;
   for (std::size_t p = 0; p < queues_.size(); ++p) {
@@ -343,6 +357,19 @@ void Runtime::markCrashed(int proc) {
     ev.worker = currentWorker();
     tb->record(ev);
   }
+  // Keep the wire honest: under a process-backed transport a modeled
+  // crash kills the rank's real process (SIGKILL), so the socket EOF and
+  // the crashed flag tell the same story. No-op for in-proc.
+  transport_->onRankDead(proc);
+}
+
+void Runtime::onTransportRankDown(int rank) {
+  checkRank("Runtime::onTransportRankDown", "rank", rank);
+  auto& q = *queues_[rank];
+  if (q.crashed.load(std::memory_order_acquire)) return;
+  markCrashed(rank);
+  std::lock_guard lock(q.mutex);
+  q.cv.notify_all();  // park idle workers on the crashed branch now
 }
 
 void Runtime::scheduleCrash(int rank, int after_tasks) {
@@ -431,6 +458,10 @@ void Runtime::recoverCrashedRanks(bool restart) {
   // message addressed to their dead incarnation has retired — nothing
   // stale can be resurrected into the new incarnation.
   for (const int r : dead) {
+    // Bring the wire endpoint back first (a process-backed transport
+    // respawns the rank process) so traffic can flow the moment the
+    // rank is readmitted.
+    transport_->restartRank(r);
     if (rel != nullptr) rel->readmitRank(r);
     auto& q = *queues_[r];
     std::lock_guard lock(q.mutex);

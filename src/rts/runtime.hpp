@@ -16,6 +16,7 @@
 #include "observability/metrics.hpp"
 #include "observability/trace.hpp"
 #include "rts/fault.hpp"
+#include "rts/transport.hpp"
 
 namespace paratreet::rts {
 
@@ -90,6 +91,9 @@ class Runtime {
     int workers_per_proc = 1;
     CommModel comm{};
     FaultConfig fault{};
+    /// Which backend carries cross-rank messages (inproc by default; tcp
+    /// runs each rank as a forked OS process). Built once at construction.
+    TransportConfig transport{};
   };
 
   explicit Runtime(Config config);
@@ -110,10 +114,44 @@ class Runtime {
   /// Delayed tasks count toward quiescence: drain() waits them out.
   void enqueueAfterUs(int proc, double delay_us, Task task);
 
-  /// Send a message of `bytes` payload from process `from` to `to`;
-  /// `on_receive` runs on one of `to`'s workers after the modeled delay.
-  /// Throws std::out_of_range when either rank is invalid.
-  void send(int from, int to, std::size_t bytes, Task on_receive);
+  /// Send one cross-rank message: `msg.on_receive` runs on one of
+  /// `msg.to`'s workers after the modeled delay, carried by the active
+  /// Transport (and, under transport faults, the ReliableLayer). Throws
+  /// std::out_of_range when either rank is invalid.
+  void send(Message msg);
+
+  /// Positional legacy form of send(); kept as a delegating overload for
+  /// one release — new code should build a Message (and tag its kind).
+  void send(int from, int to, std::size_t bytes, Task on_receive) {
+    Message msg;
+    msg.from = from;
+    msg.to = to;
+    msg.bytes = bytes;
+    msg.on_receive = std::move(on_receive);
+    send(std::move(msg));
+  }
+
+  /// The backend carrying cross-rank messages (InProcTransport unless
+  /// Config::transport selected otherwise). Stable for the runtime's
+  /// lifetime.
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
+
+  // --- transport SPI -------------------------------------------------------
+  // Called by Transport implementations only.
+
+  /// Count one in-flight wire frame toward quiescence: drain() will not
+  /// return while the hold is outstanding.
+  void holdQuiescence() {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Release a holdQuiescence() hold (after the frame's closure has been
+  /// enqueued, or the frame was orphaned by an endpoint death).
+  void releaseQuiescence() { finishTask(); }
+  /// A transport endpoint died (EOF / broken socket): mark the rank
+  /// crashed so its workers park and the drain watchdog fires, feeding
+  /// the ordinary crash-recovery protocol. Idempotent.
+  void onTransportRankDown(int rank);
 
   /// Run `fn(proc)` once on every process, then return immediately.
   void broadcast(std::function<void(int)> fn);
@@ -252,6 +290,7 @@ class Runtime {
 
   Config config_;
   std::vector<std::unique_ptr<ProcQueue>> queues_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::thread> threads_;
 
   std::atomic<bool> shutdown_{false};

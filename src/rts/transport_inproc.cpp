@@ -1,0 +1,32 @@
+#include "rts/transport.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "rts/runtime.hpp"
+
+namespace paratreet::rts {
+
+void InProcTransport::start(Runtime& rt) { rt_ = &rt; }
+
+void InProcTransport::deliver(Message msg, double delay_us) {
+  // The destination's queues are the wire: a zero-delay delivery is a
+  // plain enqueue (enqueueAfterUs delegates), so this path is
+  // bit-identical to the pre-Transport runtime.
+  rt_->enqueueAfterUs(msg.to, delay_us, std::move(msg.on_receive));
+}
+
+std::unique_ptr<Transport> makeTransport(const TransportConfig& config) {
+  if (const std::string err = config.validate(); !err.empty()) {
+    throw std::invalid_argument("TransportConfig." + err);
+  }
+  switch (config.kind) {
+    case TransportKind::kInProc:
+      return std::make_unique<InProcTransport>();
+    case TransportKind::kTcp:
+      return std::make_unique<TcpTransport>(config);
+  }
+  throw std::invalid_argument("TransportConfig.kind: unknown backend");
+}
+
+}  // namespace paratreet::rts

@@ -1,0 +1,547 @@
+#include "rts/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "rts/runtime.hpp"
+
+namespace paratreet::rts {
+
+namespace {
+
+/// Blocking full read. Returns 1 on success, 0 on EOF before the first
+/// byte, -1 on a torn read (EOF or error mid-object).
+int readFull(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::byte*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::read(fd, p + off, n - off);
+    if (got > 0) {
+      off += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    return off == 0 && got == 0 ? 0 : -1;
+  }
+  return 1;
+}
+
+/// Blocking full write; MSG_NOSIGNAL so a dead peer surfaces as EPIPE
+/// instead of killing the process.
+bool writeFull(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t sent = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (sent > 0) {
+      off += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// The rank process. Forked from a (possibly already multithreaded)
+/// parent, so everything here must be async-signal-safe: raw syscalls, a
+/// stack buffer, no allocation, no stdio, no exceptions — protocol
+/// violations _exit with a distinct code instead of throwing. The
+/// process dials the parent back, announces itself with a hello frame,
+/// then relays: validate each incoming frame, swallow its payload, echo
+/// a receipt. EOF from the parent is the clean-shutdown signal.
+[[noreturn]] void rankProcessMain(int rank, const sockaddr_in& addr,
+                                  const int* inherited_fds,
+                                  std::size_t n_inherited,
+                                  std::uint32_t max_frame) {
+  for (std::size_t i = 0; i < n_inherited; ++i) ::close(inherited_fds[i]);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ::_exit(40);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::_exit(41);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  FrameHeader hello;
+  hello.kind = static_cast<std::uint16_t>(MessageKind::kHello);
+  hello.from = static_cast<std::int16_t>(rank);
+  if (!writeFull(fd, &hello, sizeof(hello))) ::_exit(42);
+  std::byte skim[4096];
+  for (;;) {
+    FrameHeader h;
+    const int rc = readFull(fd, &h, sizeof(h));
+    if (rc == 0) ::_exit(0);  // parent closed the socket: clean shutdown
+    if (rc < 0) ::_exit(43);  // torn frame
+    if (h.magic != FrameHeader::kMagic || h.kind >= kNumMessageKinds ||
+        h.payload_bytes > max_frame ||
+        h.to != static_cast<std::int16_t>(rank)) {
+      ::_exit(44);  // corrupt or misrouted frame: die loudly
+    }
+    std::uint32_t left = h.payload_bytes;
+    while (left > 0) {
+      const std::size_t want =
+          std::min<std::size_t>(left, sizeof(skim));
+      if (readFull(fd, skim, want) != 1) ::_exit(45);
+      left -= static_cast<std::uint32_t>(want);
+    }
+    FrameHeader receipt;
+    receipt.kind = static_cast<std::uint16_t>(MessageKind::kReceipt);
+    receipt.from = static_cast<std::int16_t>(rank);
+    receipt.seq = h.seq;
+    receipt.declared_bytes = h.declared_bytes;
+    if (!writeFull(fd, &receipt, sizeof(receipt))) ::_exit(46);
+  }
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TransportConfig config)
+    : config_(std::move(config)) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+void TcpTransport::start(Runtime& rt) {
+  rt_ = &rt;
+  endpoints_.clear();
+  endpoints_.resize(static_cast<std::size_t>(rt.numProcs()));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("TcpTransport: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("TcpTransport: host '" + config_.host +
+                             "' is not an IPv4 literal");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("TcpTransport: bind(" + config_.host + ":" +
+                             std::to_string(config_.port) +
+                             ") failed: " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, rt.numProcs() + 8) != 0) {
+    throw std::runtime_error("TcpTransport: listen() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("TcpTransport: pipe() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  setNonBlocking(wake_pipe_[0]);
+  setNonBlocking(wake_pipe_[1]);
+
+  // Spawn every rank process before the runtime starts its worker
+  // threads (the Runtime constructor guarantees the ordering), so the
+  // initial forks happen from a single-threaded address space.
+  for (int r = 0; r < rt.numProcs(); ++r) spawnRank(r);
+  io_thread_ = std::thread([this] { ioLoop(); });
+}
+
+void TcpTransport::spawnRank(int rank) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(bound_port_));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("TcpTransport: host '" + config_.host +
+                             "' is not an IPv4 literal");
+  }
+  // Everything the child would otherwise inherit open. Other ranks'
+  // sockets in particular: a child holding rank A's socket open would
+  // mask A's death from the parent (no EOF while any copy of the fd
+  // lives). Collected pre-fork so the child allocates nothing.
+  std::vector<int> inherited;
+  inherited.push_back(listen_fd_);
+  inherited.push_back(wake_pipe_[0]);
+  inherited.push_back(wake_pipe_[1]);
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& ep : endpoints_) {
+      if (ep.fd >= 0) inherited.push_back(ep.fd);
+    }
+  }
+  const std::uint32_t max_frame = config_.max_frame_bytes;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("TcpTransport: fork() for rank " +
+                             std::to_string(rank) +
+                             " failed: " + std::strerror(errno));
+  }
+  if (pid == 0) {
+    rankProcessMain(rank, addr, inherited.data(), inherited.size(),
+                    max_frame);
+  }
+
+  // Parent: wait for the child to dial back and identify itself.
+  const int timeout_ms =
+      std::max(1, static_cast<int>(config_.spawn_timeout_ms));
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  const auto fail = [&](const std::string& why) -> std::runtime_error {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return std::runtime_error("TcpTransport: rank " + std::to_string(rank) +
+                              " process " + why + " within " +
+                              std::to_string(timeout_ms) + " ms");
+  };
+  if (rc <= 0) throw fail("did not connect");
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) throw fail("failed accept()");
+  FrameHeader hello;
+  pollfd hfd{fd, POLLIN, 0};
+  if (::poll(&hfd, 1, timeout_ms) <= 0 ||
+      readFull(fd, &hello, sizeof(hello)) != 1) {
+    ::close(fd);
+    throw fail("sent no hello");
+  }
+  if (hello.magic != FrameHeader::kMagic ||
+      hello.kind != static_cast<std::uint16_t>(MessageKind::kHello) ||
+      hello.from != static_cast<std::int16_t>(rank)) {
+    ::close(fd);
+    throw fail("sent a malformed hello");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  setNonBlocking(fd);
+  {
+    std::lock_guard lock(mutex_);
+    auto& ep = endpoints_[static_cast<std::size_t>(rank)];
+    ep.fd = fd;
+    ep.pid = pid;
+    ep.up = true;
+    ep.rx.clear();
+    ep.txq.clear();
+    ep.tx_off = 0;
+  }
+}
+
+void TcpTransport::stop() {
+  if (io_thread_.joinable()) {
+    io_stop_.store(true, std::memory_order_release);
+    wake();
+    io_thread_.join();
+  }
+  std::size_t stranded = 0;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& ep : endpoints_) {
+      if (ep.fd >= 0) {
+        ::close(ep.fd);
+        ep.fd = -1;
+      }
+      if (ep.pid > 0) {
+        ::kill(ep.pid, SIGKILL);
+        ::waitpid(ep.pid, nullptr, 0);
+        ep.pid = -1;
+      }
+      ep.up = false;
+      ep.rx.clear();
+      ep.txq.clear();
+    }
+    stranded = inflight_.size();
+    inflight_.clear();
+  }
+  // Frames that never got a receipt (shutdown racing delivery): give
+  // their quiescence holds back so a destructor drain cannot hang.
+  for (std::size_t i = 0; i < stranded; ++i) rt_->releaseQuiescence();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void TcpTransport::deliver(Message msg, double delay_us) {
+  std::unique_lock lock(mutex_);
+  auto& ep = endpoints_[static_cast<std::size_t>(msg.to)];
+  if (!ep.up) {
+    // The rank's process is gone (killed, or not yet respawned): park the
+    // message on its runtime queue, where a crashed rank's backlog is
+    // exactly what trips the drain watchdog, and an excluded rank's
+    // queue discards it — the same semantics the in-proc wire has.
+    lock.unlock();
+    rt_->enqueueAfterUs(msg.to, delay_us, std::move(msg.on_receive));
+    return;
+  }
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed);
+  FrameHeader h;
+  h.kind = static_cast<std::uint16_t>(msg.kind);
+  h.from = static_cast<std::int16_t>(msg.from);
+  h.to = static_cast<std::int16_t>(msg.to);
+  h.seq = seq;
+  h.declared_bytes = static_cast<std::uint64_t>(msg.bytes);
+  // Real serialized payloads travel verbatim (capped at the frame limit);
+  // messages that are closures-with-a-modeled-size ship zero filler of
+  // the declared size so the wire carries the physical volume.
+  const std::byte* payload = nullptr;
+  std::size_t payload_len = 0;
+  std::vector<std::byte> filler;
+  if (msg.payload != nullptr && !msg.payload->empty()) {
+    payload = msg.payload->data();
+    payload_len = std::min<std::size_t>(msg.payload->size(),
+                                        config_.max_frame_bytes);
+  } else {
+    payload_len = std::min<std::size_t>(msg.bytes, config_.max_frame_bytes);
+    filler.assign(payload_len, std::byte{0});
+    payload = filler.data();
+  }
+  h.payload_bytes = static_cast<std::uint32_t>(payload_len);
+  auto frame = encodeFrame(h, payload, payload_len);
+  // The frame is now on the wire: it counts toward quiescence until the
+  // rank process's receipt comes back (or its death orphans it).
+  rt_->holdQuiescence();
+  inflight_.emplace(seq, InFlight{std::move(msg), delay_us});
+  ep.txq.push_back(std::move(frame));
+  lock.unlock();
+  wake();
+}
+
+void TcpTransport::wake() {
+  if (wake_pipe_[1] < 0) return;
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void TcpTransport::ioLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<int> ranks;  // pfds[i] -> rank; slot 0 is the wake pipe
+  for (;;) {
+    pfds.clear();
+    ranks.clear();
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    ranks.push_back(-1);
+    {
+      std::lock_guard lock(mutex_);
+      for (std::size_t r = 0; r < endpoints_.size(); ++r) {
+        const auto& ep = endpoints_[r];
+        if (!ep.up) continue;
+        short events = POLLIN;
+        if (!ep.txq.empty()) events |= POLLOUT;
+        pfds.push_back(pollfd{ep.fd, events, 0});
+        ranks.push_back(static_cast<int>(r));
+      }
+    }
+    if (io_stop_.load(std::memory_order_acquire)) return;
+    const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      const int rank = ranks[i];
+      if ((pfds[i].revents & POLLOUT) != 0) flushWrites(rank);
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        consumeReceipts(rank);
+      }
+    }
+  }
+}
+
+void TcpTransport::flushWrites(int rank) {
+  bool dead = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto& ep = endpoints_[static_cast<std::size_t>(rank)];
+    if (!ep.up) return;
+    while (!ep.txq.empty()) {
+      const auto& front = ep.txq.front();
+      const ssize_t sent =
+          ::send(ep.fd, front.data() + ep.tx_off, front.size() - ep.tx_off,
+                 MSG_NOSIGNAL);
+      if (sent > 0) {
+        ep.tx_off += static_cast<std::size_t>(sent);
+        if (ep.tx_off == front.size()) {
+          ep.txq.pop_front();
+          ep.tx_off = 0;
+          frames_sent_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (sent < 0 && errno == EINTR) continue;
+      dead = true;  // EPIPE/ECONNRESET: the rank process is gone
+      break;
+    }
+  }
+  if (dead) handleEndpointDeath(rank);
+}
+
+void TcpTransport::consumeReceipts(int rank) {
+  std::vector<InFlight> done;
+  bool dead = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto& ep = endpoints_[static_cast<std::size_t>(rank)];
+    if (!ep.up) return;
+    std::byte buf[4096];
+    for (;;) {
+      const ssize_t got = ::recv(ep.fd, buf, sizeof(buf), 0);
+      if (got > 0) {
+        ep.rx.insert(ep.rx.end(), buf, buf + got);
+        continue;
+      }
+      if (got == 0) {
+        dead = true;  // EOF: the rank process died or was killed
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      dead = true;
+      break;
+    }
+    std::size_t off = 0;
+    while (ep.rx.size() - off >= sizeof(FrameHeader)) {
+      FrameHeader h;
+      std::memcpy(&h, ep.rx.data() + off, sizeof(FrameHeader));
+      if (h.magic != FrameHeader::kMagic ||
+          h.kind != static_cast<std::uint16_t>(MessageKind::kReceipt) ||
+          h.payload_bytes != 0) {
+        dead = true;  // protocol corruption: treat the endpoint as lost
+        break;
+      }
+      off += sizeof(FrameHeader);
+      const auto it = inflight_.find(h.seq);
+      if (it == inflight_.end()) continue;  // receipt outlived its message
+      done.push_back(std::move(it->second));
+      inflight_.erase(it);
+    }
+    if (off != 0) {
+      ep.rx.erase(ep.rx.begin(),
+                  ep.rx.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+  frames_delivered_.fetch_add(done.size(), std::memory_order_relaxed);
+  for (auto& f : done) enqueueLocally(std::move(f));
+  if (dead) handleEndpointDeath(rank);
+}
+
+void TcpTransport::enqueueLocally(InFlight inflight) {
+  const int to = inflight.msg.to;
+  // Enqueue first, release the wire hold second: pending_ never dips to
+  // zero between the frame retiring and its closure becoming runnable.
+  rt_->enqueueAfterUs(to, inflight.delay_us,
+                      std::move(inflight.msg.on_receive));
+  rt_->releaseQuiescence();
+}
+
+void TcpTransport::handleEndpointDeath(int rank) {
+  std::vector<InFlight> orphans;
+  pid_t pid = -1;
+  {
+    std::lock_guard lock(mutex_);
+    auto& ep = endpoints_[static_cast<std::size_t>(rank)];
+    if (!ep.up) return;  // already handled (death paths are idempotent)
+    ep.up = false;
+    ::close(ep.fd);
+    ep.fd = -1;
+    ep.rx.clear();
+    ep.txq.clear();
+    ep.tx_off = 0;
+    pid = ep.pid;
+    ep.pid = -1;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (it->second.msg.to == rank) {
+        orphans.push_back(std::move(it->second));
+        it = inflight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (pid > 0) {
+    ::kill(pid, SIGKILL);  // idempotent when the process died on its own
+    ::waitpid(pid, nullptr, 0);
+  }
+  // The endpoint's death IS the crash signal: park the rank first so its
+  // workers stop popping, then strand the orphaned deliveries on its
+  // queue — their backlog is what trips the drain watchdog, and the
+  // recovery's purge discards them with correct quiescence accounting.
+  rt_->onTransportRankDown(rank);
+  for (auto& f : orphans) enqueueLocally(std::move(f));
+}
+
+void TcpTransport::onRankDead(int rank) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= static_cast<int>(endpoints_.size())) return;
+  auto& ep = endpoints_[static_cast<std::size_t>(rank)];
+  if (!ep.up) return;
+  if (ep.pid > 0) ::kill(ep.pid, SIGKILL);
+  // shutdown(), not close(): the IO thread owns the fd's lifetime and
+  // will observe the hangup as EOF, funnelling every death — modeled or
+  // real — through handleEndpointDeath().
+  ::shutdown(ep.fd, SHUT_RDWR);
+}
+
+void TcpTransport::restartRank(int rank) {
+  {
+    std::lock_guard lock(mutex_);
+    if (rank < 0 || rank >= static_cast<int>(endpoints_.size())) return;
+    if (endpoints_[static_cast<std::size_t>(rank)].up) return;
+  }
+  spawnRank(rank);
+  wake();  // the IO loop re-collects its poll set
+}
+
+bool TcpTransport::rankReachable(int rank) const {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= static_cast<int>(endpoints_.size())) return false;
+  return endpoints_[static_cast<std::size_t>(rank)].up;
+}
+
+pid_t TcpTransport::rankPid(int rank) const {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= static_cast<int>(endpoints_.size())) return -1;
+  const auto& ep = endpoints_[static_cast<std::size_t>(rank)];
+  return ep.up ? ep.pid : -1;
+}
+
+std::string TcpTransport::describe() const {
+  std::lock_guard lock(mutex_);
+  int up = 0;
+  for (const auto& ep : endpoints_) up += ep.up ? 1 : 0;
+  return "tcp(port=" + std::to_string(bound_port_) + ", ranks up " +
+         std::to_string(up) + "/" + std::to_string(endpoints_.size()) +
+         ", frames in flight " + std::to_string(inflight_.size()) + ")";
+}
+
+}  // namespace paratreet::rts
