@@ -33,12 +33,14 @@ namespace paratreet::bench {
 ///
 /// Flags, by accessor:
 ///   metricsOut()      --metrics-out=<file>        ("-" = stdout)
-///   chaos()           --chaos-seed=<n> --fault-drop=<p>
+///   chaos()           --chaos-seed=<n> --fault-drop=<p> --fault-corrupt=<p>
 ///   checkpointInto()  --checkpoint-every=K --crash-at-step=N
-///                     --recovery-mode=restart|shrink --drain-deadline-ms=T
+///                     --wedge-at-step=N --recovery-mode=restart|shrink
+///                     --drain-deadline-ms=T --max-restarts=N
 ///   kernel()          --kernel=visitor|batched
 ///   decompImpl()      --decomp-impl=sort|histogram
 ///   transport()       --transport=inproc|tcp --tcp-host=<ip> --tcp-port=<n>
+///                     --heartbeat-ms=T --miss-threshold=N
 class ArgParser {
  public:
   ArgParser(int& argc, char** argv) : argc_(argc), argv_(argv) {}
@@ -73,13 +75,16 @@ class ArgParser {
 
   /// The chaos flags:
   ///
-  ///   --chaos-seed=<n>   enable fault injection with seed n and a
-  ///                      standard mixed schedule (drops, duplicates,
-  ///                      delays, a few reorders) unless probabilities
-  ///                      are given explicitly
-  ///   --fault-drop=<p>   enable injection and set the drop probability
+  ///   --chaos-seed=<n>     enable fault injection with seed n and a
+  ///                        standard mixed schedule (drops, duplicates,
+  ///                        delays, a few reorders) unless probabilities
+  ///                        are given explicitly
+  ///   --fault-drop=<p>     enable injection and set the drop probability
+  ///   --fault-corrupt=<p>  enable injection and set the per-frame payload
+  ///                        bit-flip probability; the frame CRC catches
+  ///                        the damage and retransmission heals it
   ///
-  /// Returns a disabled config when neither flag is present. Enabled
+  /// Returns a disabled config when no flag is present. Enabled
   /// schedules arm the drain watchdog (30 s) so a bug in resilient
   /// delivery surfaces as a thrown diagnostic instead of a hung bench.
   rts::FaultConfig chaos() {
@@ -97,6 +102,10 @@ class ArgParser {
       fault.enabled = true;
       fault.drop_p = std::strtod(value.c_str(), nullptr);
     }
+    if (flag("--fault-corrupt=", value)) {
+      fault.enabled = true;
+      fault.corrupt_p = std::strtod(value.c_str(), nullptr);
+    }
     if (fault.enabled) fault.drain_deadline_ms = 30000.0;
     return fault;
   }
@@ -110,16 +119,24 @@ class ArgParser {
   ///                          newest sealed generation and resumes,
   ///                          without it the crash surfaces as a thrown
   ///                          QuiescenceTimeout diagnostic (never a hang)
+  ///   --wedge-at-step=N      hang one seeded rank mid-iteration N
+  ///                          (alive but silent — SIGSTOP over TCP,
+  ///                          parked scheduling inproc); only heartbeats
+  ///                          can detect it, after which recovery runs
+  ///                          the same checkpoint path as a crash
   ///   --recovery-mode=restart|shrink
   ///                          restart the dead rank (default) or shrink
   ///                          the run onto the survivors
+  ///   --max-restarts=N       RecoveryPolicy.max_restarts_per_rank:
+  ///                          restarts granted to one rank before
+  ///                          escalation to shrink (0 = never restart)
   ///   --drain-deadline-ms=T  watchdog deadline (crash-detection
-  ///                          latency); defaults to 30 s when a crash is
-  ///                          scheduled
+  ///                          latency); defaults to 30 s when a crash or
+  ///                          wedge is scheduled
   ///
-  /// The crash victim and its task budget stay seeded (fault.seed,
+  /// The crash/wedge victim and its task budget stay seeded (fault.seed,
   /// shared with --chaos-seed), so sweeps over seeds vary where the
-  /// crash lands.
+  /// fault lands.
   void checkpointInto(Configuration& conf) {
     std::string value;
     if (flag("--checkpoint-every=", value)) {
@@ -128,6 +145,9 @@ class ArgParser {
     if (flag("--crash-at-step=", value)) {
       conf.fault.crash_step = std::atoi(value.c_str());
     }
+    if (flag("--wedge-at-step=", value)) {
+      conf.fault.wedge_step = std::atoi(value.c_str());
+    }
     if (flag("--drain-deadline-ms=", value)) {
       conf.fault.drain_deadline_ms = std::strtod(value.c_str(), nullptr);
     }
@@ -135,6 +155,9 @@ class ArgParser {
       if (!fromString(value, conf.recovery_mode)) {
         usageError("--recovery-mode=", "'restart' or 'shrink'", value);
       }
+    }
+    if (flag("--max-restarts=", value)) {
+      conf.recovery.max_restarts_per_rank = std::atoi(value.c_str());
     }
   }
 
@@ -173,6 +196,12 @@ class ArgParser {
   ///   --tcp-host=<ip>         IPv4 literal the rank processes dial back
   ///                           to (default 127.0.0.1)
   ///   --tcp-port=<n>          listening port (default 0 = ephemeral)
+  ///   --heartbeat-ms=T        liveness ping interval (0 = heartbeats
+  ///                           off, the default); a rank that misses
+  ///                           enough consecutive pings is declared dead
+  ///                           and recovered like a crash
+  ///   --miss-threshold=N      consecutive missed heartbeats before a
+  ///                           rank is declared dead (default 3)
   ///
   /// Plumb the result into both Configuration::transport (declarative,
   /// validated) and Runtime::Config::transport (what the runtime builds).
@@ -186,6 +215,12 @@ class ArgParser {
     }
     if (flag("--tcp-host=", value)) t.host = value;
     if (flag("--tcp-port=", value)) t.port = std::atoi(value.c_str());
+    if (flag("--heartbeat-ms=", value)) {
+      t.heartbeat_interval_ms = std::strtod(value.c_str(), nullptr);
+    }
+    if (flag("--miss-threshold=", value)) {
+      t.miss_threshold = std::atoi(value.c_str());
+    }
     return t;
   }
 

@@ -5,6 +5,7 @@
 //
 // Usage: gravity_sim [n_particles] [n_steps] [n_procs] [workers]
 //                    [--checkpoint-every=K] [--crash-at-step=N]
+//                    [--wedge-at-step=N] [--heartbeat-ms=T]
 //                    [--recovery-mode=restart|shrink] [--chaos-seed=<n>]
 //                    [--transport=inproc|tcp]
 //
@@ -12,6 +13,13 @@
 // tolerance: one seeded rank dies mid-iteration N and, with
 // checkpointing on, the run recovers from the newest sealed in-memory
 // checkpoint generation and resumes (README "Checkpoint / recovery").
+//
+// --wedge-at-step demos hang detection: the seeded rank goes silent
+// without dying (SIGSTOP over --transport=tcp, parked scheduling
+// inproc), heartbeats notice the missed pongs and promote the wedge to
+// a crash, and recovery proceeds through the same checkpoint path.
+// Heartbeats default on (100 ms interval, 3 misses) when a wedge is
+// scheduled; tune with --heartbeat-ms= / --miss-threshold=.
 
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +88,13 @@ int main(int argc, char** argv) {
   cli.fault = args.chaos();
   args.checkpointInto(cli);
   cli.transport = args.transport();
+  if (cli.fault.wedge_step >= 0 && cli.transport.heartbeat_interval_ms <= 0.0) {
+    // A wedged rank never EOFs; only heartbeats can notice it. Default
+    // them on so the demo recovers instead of riding the 30 s watchdog
+    // into a thrown hang diagnostic.
+    cli.transport.heartbeat_interval_ms = 100.0;
+    cli.transport.miss_threshold = 3;
+  }
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5000;
   const int steps = argc > 2 ? std::atoi(argv[2]) : 10;
   const int procs = argc > 3 ? std::atoi(argv[3]) : 2;
@@ -108,6 +123,13 @@ int main(int argc, char** argv) {
     std::printf("rank crash scheduled at step %d (victim rank %d)\n",
                 cli.fault.crash_step, cli.fault.crashVictim(procs));
   }
+  if (cli.fault.wedge_step >= 0) {
+    std::printf("rank wedge scheduled at step %d (victim rank %d), "
+                "heartbeats every %.0f ms, dead after %d misses\n",
+                cli.fault.wedge_step, cli.fault.wedgeVictim(procs),
+                cli.transport.heartbeat_interval_ms,
+                cli.transport.miss_threshold);
+  }
   WallTimer timer;
   // A cold Plummer sphere (zero velocities): it contracts under its own
   // gravity, converting potential into kinetic energy.
@@ -121,11 +143,14 @@ int main(int argc, char** argv) {
   std::printf("last-iteration cache: %llu fetches, %llu nodes inserted\n",
               static_cast<unsigned long long>(stats.requests_sent),
               static_cast<unsigned long long>(stats.nodes_inserted));
-  if (cli.fault.crash_step >= 0) {
+  if (cli.fault.crash_step >= 0 || cli.fault.wedge_step >= 0) {
+    // A detected wedge is promoted to a crash by the heartbeat monitor,
+    // so both faults land in the same counter.
     std::printf("rank crashes survived: %llu\n",
                 static_cast<unsigned long long>(rt.crashCount()));
     if (rt.crashCount() == 0) {
-      std::fprintf(stderr, "expected a rank crash but none fired\n");
+      std::fprintf(stderr, "expected a rank %s but none fired\n",
+                   cli.fault.crash_step >= 0 ? "crash" : "wedge");
       return 1;
     }
   }

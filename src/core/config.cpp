@@ -70,6 +70,22 @@ bool fromString(const std::string& s, RecoveryMode& out) {
   return true;
 }
 
+std::string RecoveryPolicy::validate() const {
+  if (max_restarts_per_rank < 0) {
+    return "max_restarts_per_rank = " + std::to_string(max_restarts_per_rank) +
+           ": must be >= 0 (0 = shrink immediately)";
+  }
+  if (restart_backoff_ms < 0.0) {
+    return "restart_backoff_ms = " + std::to_string(restart_backoff_ms) +
+           ": must be >= 0";
+  }
+  if (max_recoveries < -1) {
+    return "max_recoveries = " + std::to_string(max_recoveries) +
+           ": must be >= -1 (-1 = unbounded)";
+  }
+  return {};
+}
+
 std::string Configuration::validate() const {
   const auto bad = [](const std::string& field, long long value,
                       const std::string& why) {
@@ -114,6 +130,9 @@ std::string Configuration::validate() const {
   }
   if (auto err = transport.validate(); !err.empty()) {
     return "Configuration.transport." + err;
+  }
+  if (auto err = recovery.validate(); !err.empty()) {
+    return "Configuration.recovery." + err;
   }
   return {};
 }

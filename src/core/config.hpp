@@ -59,6 +59,29 @@ enum class RecoveryMode {
 std::string toString(RecoveryMode m);
 bool fromString(const std::string& s, RecoveryMode& out);
 
+/// How much failure the Driver tolerates before changing strategy or
+/// giving up (README "Resilience"). Mirrors the restart budgets real
+/// schedulers put around crash-looping nodes: restart with backoff while
+/// the budget lasts, then stop readmitting the flapping rank (escalate
+/// restart → shrink), and fail loudly once recovery itself has been
+/// exercised past the global budget.
+struct RecoveryPolicy {
+  /// Restart recoveries granted to one rank before the Driver stops
+  /// readmitting it and escalates to shrink mode for that crash
+  /// (0 = never restart, shrink immediately).
+  int max_restarts_per_rank = 3;
+  /// Pause before a restart recovery, doubled per consecutive restart of
+  /// the worst-offending rank (capped at 8x); 0 restarts immediately.
+  double restart_backoff_ms = 0.0;
+  /// Total recoveries (restart or shrink) across the whole run before
+  /// Driver::run() throws with a diagnostic instead of trying again;
+  /// -1 = unbounded.
+  int max_recoveries = 16;
+
+  /// Empty when valid, else a message naming the offending field.
+  std::string validate() const;
+};
+
 /// Run and performance parameters of a simulation, mirroring the paper's
 /// Configuration object (Section II.D.2). Applications fill this in
 /// Driver::configure().
@@ -126,6 +149,9 @@ struct Configuration {
   int checkpoint_every = 0;
   /// How a crashed rank is treated after recovery.
   RecoveryMode recovery_mode = RecoveryMode::kRestart;
+  /// Budgets around the recovery loop: per-rank restart limits with
+  /// backoff, restart → shrink escalation, and a global recovery budget.
+  RecoveryPolicy recovery{};
   /// When non-empty, every sealed checkpoint generation is also written
   /// to this directory as an ordinary util/snapshot file
   /// (checkpoint_<step>.snap), loadable later via input_file.

@@ -1,8 +1,12 @@
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -56,6 +60,14 @@ class Driver {
   /// surviving (kShrink) or restarted (kRestart) ranks, and resumes from
   /// the checkpointed iteration. With checkpointing off the timeout
   /// propagates to the caller, carrying the crash diagnostic.
+  ///
+  /// Recovery is budgeted by conf.recovery (RecoveryPolicy): restarts of
+  /// a crash-looping rank back off exponentially and escalate to shrink
+  /// once the rank spends its per-rank budget, and run() throws with a
+  /// diagnostic once the global recovery budget is exhausted. When the
+  /// transport runs heartbeats, a watchdog timeout with no crashed rank
+  /// waits one heartbeat window before giving up, so a wedged (hung but
+  /// alive) rank can be promoted to a crash and recovered normally.
   void run(rts::Runtime& rt, std::vector<Particle> particles,
            Instrumentation instr = {}) {
     Configuration conf;
@@ -65,13 +77,16 @@ class Driver {
     }
     if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
     if (instr.trace != nullptr) rt.attachTrace(instr.trace);
-    // A scheduled rank crash is only *detectable* through the drain
-    // watchdog, so arm it with a generous default when the app didn't.
-    if (conf.fault.crash_step >= 0 && conf.fault.drain_deadline_ms <= 0.0) {
+    // A scheduled rank crash or wedge is only *detectable* through the
+    // drain watchdog, so arm it with a generous default when the app
+    // didn't. (Heartbeats turn a wedge into a crash, but the drain still
+    // needs a deadline to notice and unwind.)
+    if ((conf.fault.crash_step >= 0 || conf.fault.wedge_step >= 0) &&
+        conf.fault.drain_deadline_ms <= 0.0) {
       conf.fault.drain_deadline_ms = 30000.0;
     }
     if (conf.fault.enabled || conf.fault.drain_deadline_ms > 0.0 ||
-        conf.fault.crash_step >= 0) {
+        conf.fault.crash_step >= 0 || conf.fault.wedge_step >= 0) {
       rt.configureFaults(conf.fault);
     }
     if (particles.empty() && !conf.input_file.empty()) {
@@ -85,12 +100,18 @@ class Driver {
     if (ckpt_on) store.init(&rt, instr.metrics);
     obs::Gauge* ckpt_seconds = nullptr;
     obs::Gauge* recovery_seconds = nullptr;
+    obs::Counter* rec_restart = nullptr;
+    obs::Counter* rec_shrink = nullptr;
+    obs::Counter* rec_escalated = nullptr;
     if (instr.metrics != nullptr) {
       // Registered up front so fault-free reports still show the
       // checkpoint/recovery instruments, pinned at zero.
       instr.metrics->counter("checkpoint.bytes");
       ckpt_seconds = &instr.metrics->gauge("checkpoint.seconds");
       recovery_seconds = &instr.metrics->gauge("recovery.seconds");
+      rec_restart = &instr.metrics->counter("rts.recoveries.restart");
+      rec_shrink = &instr.metrics->counter("rts.recoveries.shrink");
+      rec_escalated = &instr.metrics->counter("rts.recoveries.escalated");
     }
 
     forest_ = std::make_unique<Forest<Data, TreeTypeT>>(rt, conf, instr);
@@ -103,9 +124,14 @@ class Driver {
       checkpoint(store, conf, instr, -1, /*from_subtrees=*/true, ckpt_seconds);
     }
 
-    // A scheduled crash fires exactly once, even though recovery may
-    // rewind `iter` back across fault.crash_step.
+    // A scheduled crash/wedge fires exactly once, even though recovery
+    // may rewind `iter` back across the scheduled step.
     bool crash_armed = false;
+    bool wedge_armed = false;
+    // RecoveryPolicy bookkeeping: total recoveries spent against the
+    // global budget, and per-rank restart counts for escalation.
+    int recoveries_done = 0;
+    std::map<int, int> restarts_per_rank;
     int iter = 0;
     while (iter < conf.num_iterations) {
       try {
@@ -114,6 +140,12 @@ class Driver {
           crash_armed = true;
           rt.scheduleCrash(conf.fault.crashVictim(rt.numProcs()),
                            conf.fault.crashTaskBudget());
+        }
+        if (!wedge_armed && conf.fault.wedge_step >= 0 &&
+            iter == conf.fault.wedge_step) {
+          wedge_armed = true;
+          rt.scheduleWedge(conf.fault.wedgeVictim(rt.numProcs()),
+                           conf.fault.wedgeTaskBudget());
         }
         {
           obs::TraceSpan span(instr.trace, "iteration", "driver");
@@ -144,7 +176,17 @@ class Driver {
         if (iter + 1 < conf.num_iterations) forest_->flush();
         ++iter;
       } catch (const rts::QuiescenceTimeout&) {
-        const std::vector<int> dead = rt.crashedRanks();
+        std::vector<int> dead = rt.crashedRanks();
+        if (dead.empty() && conf.transport.heartbeat_interval_ms > 0.0) {
+          // A wedged rank looks like a plain hang until the heartbeat
+          // monitor's miss threshold trips and promotes it to a crash.
+          // Grant one full heartbeat window of grace before concluding
+          // nothing died.
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  conf.transport.heartbeatWindowMs()));
+          dead = rt.crashedRanks();
+        }
         if (dead.empty() || !ckpt_on) {
           // A genuine hang (or a crash with checkpointing disabled):
           // nothing to recover from — surface the diagnostic.
@@ -152,9 +194,59 @@ class Driver {
           if (instr.trace != nullptr) rt.attachTrace(nullptr);
           throw;
         }
+        if (conf.recovery.max_recoveries >= 0 &&
+            recoveries_done >= conf.recovery.max_recoveries) {
+          std::string who;
+          for (const int r : dead) {
+            if (!who.empty()) who += ",";
+            who += std::to_string(r);
+          }
+          throw std::runtime_error(
+              "recovery budget exhausted: " +
+              std::to_string(recoveries_done) + " recoveries already " +
+              "spent (RecoveryPolicy.max_recoveries = " +
+              std::to_string(conf.recovery.max_recoveries) +
+              ") and rank(s) " + who +
+              " crashed again — giving up instead of looping");
+        }
+        ++recoveries_done;
         WallTimer timer;
         obs::TraceSpan span(instr.trace, "recovery", "driver");
-        const bool restart = conf.recovery_mode == RecoveryMode::kRestart;
+        bool restart = conf.recovery_mode == RecoveryMode::kRestart;
+        if (restart) {
+          // Charge each dead rank's restart budget; the worst offender's
+          // streak drives backoff and the restart → shrink escalation.
+          int worst = 0;
+          for (const int r : dead) {
+            worst = std::max(worst, ++restarts_per_rank[r]);
+          }
+          if (worst > conf.recovery.max_restarts_per_rank) {
+            // Crash-looping past its budget: stop readmitting the rank
+            // and recover by shrinking over the survivors instead.
+            restart = false;
+            if (rec_escalated != nullptr) rec_escalated->add(1);
+            if (instr.trace != nullptr) {
+              obs::TraceEvent ev;
+              ev.name = "recovery.escalated";
+              ev.category = "fault";
+              ev.start_us = instr.trace->sinceOriginUs(
+                  std::chrono::steady_clock::now());
+              instr.trace->record(ev);
+            }
+          } else if (conf.recovery.restart_backoff_ms > 0.0) {
+            // Exponential backoff on the worst streak, capped at 8x.
+            const int doublings = std::min(worst - 1, 3);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    conf.recovery.restart_backoff_ms *
+                    static_cast<double>(1 << doublings)));
+          }
+        }
+        if (restart) {
+          if (rec_restart != nullptr) rec_restart->add(1);
+        } else if (rec_shrink != nullptr) {
+          rec_shrink->add(1);
+        }
         rt.recoverCrashedRanks(restart);
         forest_->abortTraversals();
         for (const int r : dead) store.markLost(r);

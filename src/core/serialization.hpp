@@ -10,6 +10,7 @@
 
 #include "tree/node.hpp"
 #include "tree/particle.hpp"
+#include "util/crc32c.hpp"
 
 namespace paratreet {
 
@@ -113,13 +114,31 @@ ResponseBlock<Data> serializeRegion(const Node<Data>* from, int fetch_depth) {
 /// rts::CheckpointStore double-buffers in the owner's and the buddy's
 /// memory. As with ResponseBlock, "serialization" is a flat copy and the
 /// byte count is what a real buddy-rank checkpoint would put on the wire.
+/// `crc32c` covers the whole chunk (header with the crc field zeroed,
+/// then the particle bytes) so a bit-flip anywhere in a stored copy is
+/// caught at restore instead of silently corrupting the re-run.
 struct CheckpointChunkHeader {
   static constexpr std::uint32_t kMagic = 0x5054434bu;  // "PTCK"
   std::uint32_t magic = kMagic;
   std::int32_t step = 0;
   std::int32_t rank = 0;
+  std::uint32_t crc32c = 0;
   std::uint64_t count = 0;
 };
+
+/// CRC32C of a serialized chunk's bytes, with the header's crc field
+/// treated as zero (so the stamp does not checksum itself).
+inline std::uint32_t checkpointChunkCrc(const std::vector<std::byte>& bytes) {
+  CheckpointChunkHeader h;
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  h.crc32c = 0;
+  std::uint32_t crc = util::crc32c(&h, sizeof(h));
+  if (bytes.size() > sizeof(h)) {
+    crc = util::crc32c(bytes.data() + sizeof(h), bytes.size() - sizeof(h),
+                       crc);
+  }
+  return crc;
+}
 
 inline std::vector<std::byte> serializeCheckpointChunk(
     int step, int rank, const std::vector<Particle>& particles) {
@@ -134,12 +153,16 @@ inline std::vector<std::byte> serializeCheckpointChunk(
     std::memcpy(bytes.data() + sizeof(header), particles.data(),
                 particles.size() * sizeof(Particle));
   }
+  header.crc32c = checkpointChunkCrc(bytes);
+  std::memcpy(bytes.data(), &header, sizeof(header));
   return bytes;
 }
 
-/// Decode a checkpoint chunk, validating the magic and that the header's
-/// particle count matches the actual byte length exactly — a truncated or
-/// oversized chunk is corrupt state and must fail recovery loudly.
+/// Decode a checkpoint chunk, validating the magic, the checksum, and
+/// that the header's particle count matches the actual byte length
+/// exactly — a truncated, oversized, or bit-flipped chunk is corrupt
+/// state and must fail recovery loudly (the CheckpointStore catches the
+/// failure and falls back to an older sealed generation).
 inline std::pair<CheckpointChunkHeader, std::vector<Particle>>
 deserializeCheckpointChunk(const std::vector<std::byte>& bytes) {
   CheckpointChunkHeader header;
@@ -160,6 +183,12 @@ deserializeCheckpointChunk(const std::vector<std::byte>& bytes) {
         std::to_string(header.count) + " particle(s) (" +
         std::to_string(expected) + " bytes) but chunk holds " +
         std::to_string(bytes.size()) + " bytes");
+  }
+  if (header.crc32c != checkpointChunkCrc(bytes)) {
+    throw std::runtime_error(
+        "checkpoint chunk corrupt: checksum mismatch (step " +
+        std::to_string(header.step) + ", rank " +
+        std::to_string(header.rank) + ") — bits flipped in storage");
   }
   std::vector<Particle> particles(header.count);
   if (header.count != 0) {

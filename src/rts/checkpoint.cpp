@@ -6,8 +6,20 @@
 #include <utility>
 
 #include "rts/runtime.hpp"
+#include "util/crc32c.hpp"
 
 namespace paratreet::rts {
+
+namespace {
+std::uint32_t chunkCrc(const std::vector<std::byte>& bytes) {
+  return bytes.empty() ? 0u
+                       : util::crc32c(bytes.data(), bytes.size());
+}
+}  // namespace
+
+bool CheckpointStore::intact(const Chunk& c) {
+  return c.crc == chunkCrc(c.bytes);
+}
 
 void CheckpointStore::init(Runtime* rt, obs::MetricsRegistry* metrics) {
   rt_ = rt;
@@ -65,7 +77,7 @@ void CheckpointStore::commit(int rank, int step,
   {
     std::lock_guard lock(mem.mutex);
     mem.lost = false;  // a committing rank evidently has working memory
-    keepLastTwo(mem.own, Chunk{step, bytes});
+    keepLastTwo(mem.own, Chunk{step, bytes, chunkCrc(bytes)});
   }
   bytes_stored_.fetch_add(size, std::memory_order_relaxed);
   commits_.fetch_add(1, std::memory_order_relaxed);
@@ -93,8 +105,9 @@ void CheckpointStore::commit(int rank, int step,
 void CheckpointStore::storeHeld(int holder, int owner, int step,
                                 std::vector<std::byte> b) {
   auto& mem = *memory_[static_cast<std::size_t>(holder)];
+  const std::uint32_t crc = chunkCrc(b);
   std::lock_guard lock(mem.mutex);
-  keepLastTwo(mem.held[owner], Chunk{step, std::move(b)});
+  keepLastTwo(mem.held[owner], Chunk{step, std::move(b), crc});
 }
 
 void CheckpointStore::seal(int step) {
@@ -134,7 +147,11 @@ int CheckpointStore::latestRestorableStep() const {
       bool covered = false;
       {
         std::lock_guard lock(mem.mutex);
-        covered = !mem.lost && find(mem.own, step) != nullptr;
+        // A copy that fails its checksum is as gone as a lost one: only
+        // intact copies count toward restorability, so corruption makes
+        // recovery fall back a generation instead of restoring garbage.
+        const Chunk* own = !mem.lost ? find(mem.own, step) : nullptr;
+        covered = own != nullptr && intact(*own);
       }
       if (!covered) {
         // Fall back to a buddy copy in any surviving rank's memory.
@@ -143,8 +160,10 @@ int CheckpointStore::latestRestorableStep() const {
           std::lock_guard lock(held_mem.mutex);
           if (held_mem.lost) continue;
           const auto found = held_mem.held.find(r);
-          covered = found != held_mem.held.end() &&
-                    find(found->second, step) != nullptr;
+          const Chunk* held = found != held_mem.held.end()
+                                  ? find(found->second, step)
+                                  : nullptr;
+          covered = held != nullptr && intact(*held);
         }
       }
       complete = covered;
@@ -160,12 +179,16 @@ std::vector<std::vector<std::byte>> CheckpointStore::assemble(
   out.reserve(memory_.size());
   for (int r = 0; r < static_cast<int>(memory_.size()); ++r) {
     auto& mem = *memory_[static_cast<std::size_t>(r)];
+    bool saw_corrupt = false;
     {
       std::lock_guard lock(mem.mutex);
       if (!mem.lost) {
         if (const Chunk* c = find(mem.own, step)) {
-          out.push_back(c->bytes);
-          continue;
+          if (intact(*c)) {
+            out.push_back(c->bytes);
+            continue;
+          }
+          saw_corrupt = true;  // own copy rotted: try the buddy copy
         }
       }
     }
@@ -177,18 +200,48 @@ std::vector<std::vector<std::byte>> CheckpointStore::assemble(
       const auto found = held_mem.held.find(r);
       if (found == held_mem.held.end()) continue;
       if (const Chunk* c = find(found->second, step)) {
-        out.push_back(c->bytes);
-        recovered = true;
+        if (intact(*c)) {
+          out.push_back(c->bytes);
+          recovered = true;
+        } else {
+          saw_corrupt = true;
+        }
       }
     }
     if (!recovered) {
       throw std::runtime_error(
           "CheckpointStore::assemble: rank " + std::to_string(r) +
-          " has no surviving copy of step " + std::to_string(step) +
-          " (neither its own memory nor any buddy)");
+          " has no " + (saw_corrupt ? "intact " : "surviving ") +
+          "copy of step " + std::to_string(step) +
+          (saw_corrupt
+               ? " (stored copies failed their checksum — bits flipped "
+                 "in storage)"
+               : " (neither its own memory nor any buddy)"));
     }
   }
   return out;
+}
+
+bool CheckpointStore::corruptStoredChunk(int rank, int owner, int step) {
+  if (rank < 0 || rank >= static_cast<int>(memory_.size())) return false;
+  auto& mem = *memory_[static_cast<std::size_t>(rank)];
+  std::lock_guard lock(mem.mutex);
+  std::vector<Chunk>* gens = nullptr;
+  if (rank == owner) {
+    gens = &mem.own;
+  } else {
+    const auto found = mem.held.find(owner);
+    if (found == mem.held.end()) return false;
+    gens = &found->second;
+  }
+  for (auto& g : *gens) {
+    if (g.step != step || g.bytes.empty()) continue;
+    // Flip one bit mid-chunk, past the header, deep in particle state —
+    // the stamped CRC no longer matches and intact() reports the rot.
+    g.bytes[g.bytes.size() / 2] ^= std::byte{0x40};
+    return true;
+  }
+  return false;
 }
 
 std::uint64_t CheckpointStore::bytesStored() const {

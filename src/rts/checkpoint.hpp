@@ -80,11 +80,24 @@ class CheckpointStore {
   std::uint64_t bytesStored() const;
   std::uint64_t commits() const;
 
+  /// Chaos/test hook: flip one byte of a stored copy of (owner, step) —
+  /// the owner's own copy when `rank == owner`, else the buddy copy rank
+  /// `rank` holds for `owner`. Models memory corruption of checkpoint
+  /// state (bit rot, DMA scribbles). Returns false when no such copy is
+  /// stored. Recovery detects the damage via the stored checksum and
+  /// falls back — to the other copy, or to an older sealed generation.
+  bool corruptStoredChunk(int rank, int owner, int step);
+
  private:
   struct Chunk {
     int step = kNoStep;
     std::vector<std::byte> bytes;
+    /// CRC32C of `bytes` stamped when the copy entered this memory;
+    /// re-verified at restore so bit rot in a stored copy is detected.
+    std::uint32_t crc = 0;
   };
+  /// Does the stored copy still match its stamp?
+  static bool intact(const Chunk& c);
   /// Everything resident in one rank's memory. `own` holds the rank's
   /// last two chunks; `held` the buddy copies it keeps for other ranks
   /// (keyed by owner), also two generations deep.

@@ -22,10 +22,13 @@ enum class FaultKind : int {
   kFetchFail,  ///< home process fails to serve a cache-fill payload
   kStall,      ///< worker stalls for stall_us before its next task
   kCrash,      ///< a whole logical rank dies mid-step (node failure)
+  kWedge,      ///< a rank hangs alive (SIGSTOP / deadlock), no EOF ever
+  kCorrupt,    ///< a frame's payload bits flip in flight (CRC catches it)
 };
-inline constexpr std::size_t kNumFaultKinds = 7;
+inline constexpr std::size_t kNumFaultKinds = 9;
 inline constexpr std::array<const char*, kNumFaultKinds> kFaultKindNames = {
-    "drop", "duplicate", "delay", "reorder", "fetch_fail", "stall", "crash"};
+    "drop",  "duplicate", "delay", "reorder", "fetch_fail",
+    "stall", "crash",     "wedge", "corrupt"};
 
 namespace detail {
 
@@ -60,6 +63,10 @@ struct FaultConfig {
   double reorder_p = 0.0;
   double fetch_fail_p = 0.0;
   double stall_p = 0.0;
+  /// Probability a wire frame's payload is bit-flipped in flight. The
+  /// receiver's CRC32C check rejects the copy (a detected drop), so the
+  /// reliable layer's retransmit heals it — results never change.
+  double corrupt_p = 0.0;
 
   // --- fault magnitudes ----------------------------------------------------
   double delay_min_us = 50.0;      ///< injected delay lower bound
@@ -105,6 +112,31 @@ struct FaultConfig {
     return 1 + static_cast<int>(detail::splitmix64(seed ^ 0x5eedu) % 48u);
   }
 
+  // --- rank wedge (hang without death) -------------------------------------
+  /// Iteration at which one logical rank wedges: it stays alive (no EOF,
+  /// no exit) but stops making progress — a SIGSTOP'd child over TCP, a
+  /// parked scheduling queue in-process. Only heartbeats can see it.
+  /// -1 = never. Armed by the driver like crash_step; works even with
+  /// `enabled == false`.
+  int wedge_step = -1;
+  /// Wedged rank, or -1 to derive it from the seed.
+  int wedge_rank = -1;
+  /// Tasks the victim still executes after arming before it wedges, or
+  /// -1 for a small seeded budget (mid-phase, like the crash).
+  int wedge_after_tasks = -1;
+
+  /// The rank that wedges, resolved against the actual rank count.
+  int wedgeVictim(int n_procs) const {
+    if (wedge_rank >= 0) return wedge_rank % n_procs;
+    return static_cast<int>(detail::splitmix64(seed ^ 0x3edbeull) %
+                            static_cast<std::uint64_t>(n_procs));
+  }
+  /// How many more tasks the victim executes before wedging.
+  int wedgeTaskBudget() const {
+    if (wedge_after_tasks >= 0) return wedge_after_tasks;
+    return 1 + static_cast<int>(detail::splitmix64(seed ^ 0x4a9eull) % 48u);
+  }
+
   // --- watchdog ------------------------------------------------------------
   /// When > 0, Runtime::drain() throws QuiescenceTimeout with a full
   /// diagnostic instead of waiting longer than this. Works even with
@@ -115,7 +147,7 @@ struct FaultConfig {
   /// without message faults, raw sends already deliver exactly once.
   bool anyMessageFaults() const {
     return drop_p > 0.0 || duplicate_p > 0.0 || delay_p > 0.0 ||
-           reorder_p > 0.0;
+           reorder_p > 0.0 || corrupt_p > 0.0;
   }
   /// Any fault at all configured (gates the injector)?
   bool injecting() const {
@@ -132,7 +164,8 @@ struct FaultConfig {
     const struct { const char* name; double v; } probs[] = {
         {"drop_p", drop_p},           {"duplicate_p", duplicate_p},
         {"delay_p", delay_p},         {"reorder_p", reorder_p},
-        {"fetch_fail_p", fetch_fail_p}, {"stall_p", stall_p}};
+        {"fetch_fail_p", fetch_fail_p}, {"stall_p", stall_p},
+        {"corrupt_p", corrupt_p}};
     for (const auto& p : probs) {
       if (p.v < 0.0 || p.v > 1.0) return badP(p.name, p.v);
     }
@@ -153,6 +186,11 @@ struct FaultConfig {
     if (crash_rank < -1) return "crash_rank must be >= -1 (-1 = seeded)";
     if (crash_after_tasks < -1) {
       return "crash_after_tasks must be >= -1 (-1 = seeded)";
+    }
+    if (wedge_step < -1) return "wedge_step must be >= -1 (-1 = never)";
+    if (wedge_rank < -1) return "wedge_rank must be >= -1 (-1 = seeded)";
+    if (wedge_after_tasks < -1) {
+      return "wedge_after_tasks must be >= -1 (-1 = seeded)";
     }
     return {};
   }
@@ -216,6 +254,29 @@ class FaultInjector {
       bump(FaultKind::kReorder);
     }
     return d;
+  }
+
+  /// Should attempt `attempt` of frame `seq` be delivered with flipped
+  /// payload bits? Each retransmission draws fresh, so a corrupted frame
+  /// heals on retry with probability 1 - corrupt_p per attempt.
+  bool onFrameCorrupt(std::uint64_t seq, std::uint32_t attempt = 0) {
+    if (cfg_.corrupt_p <= 0.0) return false;
+    if (u01(seq, attempt, 0x2b32db6c2c0a6235ull) >= cfg_.corrupt_p) {
+      return false;
+    }
+    bump(FaultKind::kCorrupt);
+    return true;
+  }
+
+  /// Which payload bit to flip for a corrupted frame — a pure function of
+  /// (seed, seq, attempt) so runs with equal seeds corrupt identically.
+  std::size_t corruptBitIndex(std::uint64_t seq, std::uint32_t attempt,
+                              std::size_t nbits) const {
+    if (nbits == 0) return 0;
+    std::uint64_t h = splitmix(cfg_.seed ^ 0x7b1faf6c04b1e39bull);
+    h = splitmix(h ^ (seq * 0x2545f4914f6cdd1dull));
+    h = splitmix(h ^ (static_cast<std::uint64_t>(attempt) + 1));
+    return static_cast<std::size_t>(h % nbits);
   }
 
   /// Should serve attempt `attempt` of logical fetch `fetch_id` fail?

@@ -219,8 +219,13 @@ std::string ReliableLayer::describeInflight() const {
            std::to_string(st.pending.size()) + " unacked message(s), seq";
     int shown = 0;
     for (const auto& [seq, entry] : st.pending) {
-      out += " " + std::to_string(seq) + "(attempts=" +
-             std::to_string(entry->attempts) + ")";
+      // Appended piecewise: chaining operator+ temporaries here trips
+      // GCC 12's -Wrestrict false positive (PR 105651) under -O3.
+      out += ' ';
+      out += std::to_string(seq);
+      out += "(attempts=";
+      out += std::to_string(entry->attempts);
+      out += ')';
       if (++shown == 4) break;
     }
     if (st.pending.size() > 4) out += " ...";

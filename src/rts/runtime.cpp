@@ -56,10 +56,18 @@ Runtime::~Runtime() {
   // turns those into accounted drops instead of fresh backlog.
   for (int p = 0; p < config_.n_procs; ++p) {
     auto& q = *queues_[p];
-    if (q.crashed.load(std::memory_order_acquire)) {
+    const bool wedged = q.wedged.load(std::memory_order_acquire);
+    if (q.crashed.load(std::memory_order_acquire) || wedged) {
       {
         std::lock_guard lock(q.mutex);
         q.excluded.store(true, std::memory_order_release);
+      }
+      if (wedged && !q.crashed.load(std::memory_order_acquire)) {
+        // An unrecovered wedge may still hold wire state (a SIGSTOPped
+        // rank process with unreceipted frames pinning quiescence). Kill
+        // it for real: the transport flushes the orphans into the now-
+        // excluded queue, where they retire with correct accounting.
+        transport_->onRankDead(p);
       }
       purgeRankQueues(p);
     }
@@ -116,6 +124,8 @@ void Runtime::attachMetrics(obs::MetricsRegistry* registry) {
   m->undeliverable = &registry->counter("rts.undeliverable");
   m->dup_suppressed = &registry->counter("rts.dup_suppressed");
   m->crashes = &registry->counter("rts.crashes");
+  m->heartbeat_missed = &registry->counter("rts.heartbeat.missed");
+  m->frames_corrupt = &registry->counter("rts.frames_corrupt");
   for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
     m->faults_injected[k] = &registry->counter(
         std::string("rts.faults_injected.") + kFaultKindNames[k]);
@@ -141,6 +151,38 @@ void Runtime::attachTrace(obs::TraceBuffer* trace) {
 void Runtime::noteFault(FaultKind kind) {
   if (auto* m = metrics_.load(std::memory_order_acquire)) {
     m->faults_injected[static_cast<std::size_t>(kind)]->add(1);
+  }
+}
+
+void Runtime::noteHeartbeatMissed(int rank) {
+  if (auto* m = metrics_.load(std::memory_order_acquire)) {
+    m->heartbeat_missed->add(1);
+  }
+  if (auto* tb = trace_.load(std::memory_order_acquire)) {
+    obs::TraceEvent ev;
+    ev.name = "rts.heartbeat.missed";
+    ev.category = "fault";
+    ev.start_us = tb->sinceOriginUs(std::chrono::steady_clock::now());
+    ev.duration_us = 0;
+    ev.proc = rank;
+    ev.worker = -1;
+    tb->record(ev);
+  }
+}
+
+void Runtime::noteFrameCorrupt(int rank) {
+  if (auto* m = metrics_.load(std::memory_order_acquire)) {
+    m->frames_corrupt->add(1);
+  }
+  if (auto* tb = trace_.load(std::memory_order_acquire)) {
+    obs::TraceEvent ev;
+    ev.name = "rts.frame_corrupt";
+    ev.category = "fault";
+    ev.start_us = tb->sinceOriginUs(std::chrono::steady_clock::now());
+    ev.duration_us = 0;
+    ev.proc = rank;
+    ev.worker = -1;
+    tb->record(ev);
   }
 }
 
@@ -291,6 +333,7 @@ std::string Runtime::quiescenceDiagnostic() {
       if (!dead.empty()) dead += ", ";
       dead += std::to_string(p);
     }
+    if (q.wedged.load(std::memory_order_acquire)) out += " WEDGED";
     if (q.excluded.load(std::memory_order_acquire)) out += " (excluded)";
     out += "\n";
   }
@@ -372,6 +415,48 @@ void Runtime::onTransportRankDown(int rank) {
   q.cv.notify_all();  // park idle workers on the crashed branch now
 }
 
+void Runtime::markWedged(int proc) {
+  noteFault(FaultKind::kWedge);
+  if (auto* inj = injector_ptr_.load(std::memory_order_acquire)) {
+    inj->record(FaultKind::kWedge);
+  }
+  if (auto* tb = trace_.load(std::memory_order_acquire)) {
+    obs::TraceEvent ev;
+    ev.name = "rts.wedge";
+    ev.category = "fault";
+    ev.start_us = tb->sinceOriginUs(std::chrono::steady_clock::now());
+    ev.duration_us = 0;
+    ev.proc = proc;
+    ev.worker = currentWorker();
+    tb->record(ev);
+  }
+  // A process-backed transport wedges the rank at the wire level
+  // (SIGSTOP: the process lives, its socket stays open, no EOF ever
+  // arrives). Otherwise park the rank's scheduling locally — its queues
+  // stay open and fill up, but no worker pops. Either way the rank is
+  // silent without being dead: only missed heartbeats can tell.
+  auto& q = *queues_[proc];
+  q.wedged.store(true, std::memory_order_release);
+  if (transport_->onRankWedged(proc)) return;
+  std::lock_guard lock(q.mutex);
+  q.cv.notify_all();  // park idle workers on the wedged branch now
+}
+
+void Runtime::scheduleWedge(int rank, int after_tasks) {
+  checkRank("Runtime::scheduleWedge", "victim", rank);
+  auto& q = *queues_[rank];
+  if (after_tasks <= 0) {
+    markWedged(rank);
+    return;
+  }
+  q.wedge_countdown.store(after_tasks, std::memory_order_release);
+}
+
+bool Runtime::rankWedged(int rank) const {
+  checkRank("Runtime::rankWedged", "rank", rank);
+  return queues_[rank]->wedged.load(std::memory_order_acquire);
+}
+
 void Runtime::scheduleCrash(int rank, int after_tasks) {
   checkRank("Runtime::scheduleCrash", "victim", rank);
   auto& q = *queues_[rank];
@@ -444,6 +529,7 @@ void Runtime::recoverCrashedRanks(bool restart) {
     {
       std::lock_guard lock(q.mutex);
       q.crash_countdown.store(-1, std::memory_order_relaxed);
+      q.wedge_countdown.store(-1, std::memory_order_relaxed);
       q.excluded.store(true, std::memory_order_release);
     }
     purgeRankQueues(r);
@@ -467,6 +553,7 @@ void Runtime::recoverCrashedRanks(bool restart) {
     std::lock_guard lock(q.mutex);
     q.excluded.store(false, std::memory_order_release);
     q.crashed.store(false, std::memory_order_release);
+    q.wedged.store(false, std::memory_order_release);
     q.cv.notify_all();
   }
 }
@@ -489,10 +576,13 @@ void Runtime::workerLoop(int proc, int worker) {
   auto& q = *queues_[proc];
   std::unique_lock lock(q.mutex);
   while (true) {
-    if (q.crashed.load(std::memory_order_acquire)) {
-      // Dead rank: park without touching the queues. Anything queued (or
-      // maturing in `delayed`) stays pending, so the next drain() trips
-      // the watchdog — that is the crash-detection signal.
+    if (q.crashed.load(std::memory_order_acquire) ||
+        q.wedged.load(std::memory_order_acquire)) {
+      // Dead or wedged rank: park without touching the queues. Anything
+      // queued (or maturing in `delayed`) stays pending, so the next
+      // drain() trips the watchdog — that is the crash-detection signal.
+      // A wedged rank's queues additionally stay *open* (it is not dead),
+      // which is exactly why only heartbeats can diagnose it.
       if (shutdown_.load(std::memory_order_acquire)) return;
       q.cv.wait(lock);
       continue;
@@ -540,6 +630,10 @@ void Runtime::workerLoop(int proc, int worker) {
       if (q.crash_countdown.load(std::memory_order_relaxed) > 0 &&
           q.crash_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         markCrashed(proc);
+      }
+      if (q.wedge_countdown.load(std::memory_order_relaxed) > 0 &&
+          q.wedge_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        markWedged(proc);
       }
       finishTask();
       lock.lock();

@@ -152,6 +152,12 @@ class Runtime {
   /// crashed so its workers park and the drain watchdog fires, feeding
   /// the ordinary crash-recovery protocol. Idempotent.
   void onTransportRankDown(int rank);
+  /// A heartbeat ping to `rank` went unanswered (counted toward its miss
+  /// threshold): bump rts.heartbeat.missed and trace the event.
+  void noteHeartbeatMissed(int rank);
+  /// A wire frame to `rank` failed its CRC check and was retired without
+  /// running (the reliable layer retransmits): bump rts.frames_corrupt.
+  void noteFrameCorrupt(int rank);
 
   /// Run `fn(proc)` once on every process, then return immediately.
   void broadcast(std::function<void(int)> fn);
@@ -217,7 +223,20 @@ class Runtime {
   /// crash-detection signal. Callable any time; fires at a task boundary.
   void scheduleCrash(int rank, int after_tasks);
 
+  /// Arm a deterministic rank wedge: after `after_tasks` more task
+  /// completions on `rank` (immediately when <= 0) the rank hangs
+  /// without dying. Over TCP the rank's process is SIGSTOPped (alive,
+  /// socket open, no EOF); in-proc the rank's workers park while its
+  /// queues stay open. Either way nothing signals the failure except
+  /// missed heartbeats — with heartbeats disabled a wedge is only ever
+  /// seen as a watchdog timeout with no culprit.
+  void scheduleWedge(int rank, int after_tasks);
+
   bool rankCrashed(int rank) const;
+  /// Has `rank` been wedged (scheduling parked / process stopped)?
+  /// Becomes false again once heartbeat detection converts the wedge
+  /// into a crash, or a recovery restarts the rank.
+  bool rankWedged(int rank) const;
   /// Alive = neither crashed nor excluded by a shrink recovery. Fault-free
   /// runs always answer true.
   bool rankAlive(int rank) const;
@@ -257,8 +276,13 @@ class Runtime {
     std::priority_queue<detail::DelayedTask> delayed;
     /// Remaining task completions before this rank dies; < 0 = not armed.
     std::atomic<int> crash_countdown{-1};
+    /// Remaining task completions before this rank wedges; < 0 = not armed.
+    std::atomic<int> wedge_countdown{-1};
     /// Crashed: workers park, queues pile up until recovery.
     std::atomic<bool> crashed{false};
+    /// Wedged: workers park but the rank is not (yet) considered dead —
+    /// only heartbeat detection promotes a wedge to a crash.
+    std::atomic<bool> wedged{false};
     /// Excluded by a shrink recovery: enqueue/send become no-ops.
     std::atomic<bool> excluded{false};
   };
@@ -269,6 +293,9 @@ class Runtime {
   void drainImpl(bool allow_watchdog);
   /// Flag `proc` dead and record the crash (counters + trace event).
   void markCrashed(int proc);
+  /// Wedge `proc`: record the fault, then either let the transport hang
+  /// the rank at the wire level or park its scheduling locally.
+  void markWedged(int proc);
   /// Discard everything queued on `proc` unrun, crediting pending_.
   void purgeRankQueues(int proc);
 
@@ -282,6 +309,8 @@ class Runtime {
     obs::Counter* undeliverable = nullptr;
     obs::Counter* dup_suppressed = nullptr;
     obs::Counter* crashes = nullptr;
+    obs::Counter* heartbeat_missed = nullptr;
+    obs::Counter* frames_corrupt = nullptr;
     std::array<obs::Counter*, kNumFaultKinds> faults_injected{};
     /// Indexed by global worker (proc * workers_per_proc + worker).
     std::vector<obs::Counter*> busy_ns;

@@ -3,6 +3,8 @@
 #include <sys/types.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -14,7 +16,10 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "util/crc32c.hpp"
 
 namespace paratreet::rts {
 
@@ -34,10 +39,12 @@ enum class MessageKind : std::uint16_t {
   kAck,         ///< reliable-layer acknowledgement
   kHello,       ///< rank process announcing itself after spawn
   kReceipt,     ///< rank process confirming frame delivery
+  kHeartbeat,   ///< liveness ping (parent → rank) / pong (rank → parent)
 };
-inline constexpr std::size_t kNumMessageKinds = 7;
+inline constexpr std::size_t kNumMessageKinds = 8;
 inline constexpr const char* kMessageKindNames[kNumMessageKinds] = {
-    "data", "request", "response", "checkpoint", "ack", "hello", "receipt"};
+    "data", "request", "response", "checkpoint",
+    "ack",  "hello",   "receipt",  "heartbeat"};
 
 /// One cross-rank message: the envelope Runtime::send() takes. `bytes` is
 /// the modeled payload size (what the communication-volume statistics and
@@ -55,25 +62,61 @@ struct Message {
   std::shared_ptr<const std::vector<std::byte>> payload;
 };
 
+/// Receipt flag: the rank process received the frame intact on the wire
+/// but its CRC32C check failed — the payload was corrupted in flight. The
+/// parent treats it as a detected drop: the closure does NOT run, and the
+/// reliable layer's ack-timeout retransmission heals it.
+inline constexpr std::uint16_t kFrameFlagCorruptNack = 0x1;
+
 /// Length-prefixed wire frame header, the TCP transport's unit of
 /// exchange: header then exactly `payload_bytes` bytes of payload.
 /// `declared_bytes` is the modeled message size (>= payload_bytes: filler
-/// payloads are capped at TransportConfig.max_frame_bytes).
+/// payloads are capped at TransportConfig.max_frame_bytes). `crc32c`
+/// covers the whole frame — header (with the crc field zeroed) then
+/// payload — so both metadata and payload bit-flips are detected
+/// end-to-end, not just framing damage.
 struct FrameHeader {
   static constexpr std::uint32_t kMagic = 0x50545246u;  // "PTRF"
   std::uint32_t magic = kMagic;
   std::uint16_t kind = 0;
   std::int16_t from = -1;
   std::int16_t to = -1;
-  std::uint16_t reserved = 0;
+  std::uint16_t flags = 0;
   std::uint32_t payload_bytes = 0;
+  std::uint32_t crc32c = 0;
+  std::uint32_t reserved = 0;
   std::uint64_t seq = 0;
   std::uint64_t declared_bytes = 0;
 };
-static_assert(sizeof(FrameHeader) == 32, "frame header must be fixed-size");
+static_assert(sizeof(FrameHeader) == 40, "frame header must be fixed-size");
 
-/// Encode one frame: header + payload, ready for the wire.
-inline std::vector<std::byte> encodeFrame(const FrameHeader& header,
+/// CRC32C of one frame: the header with its crc field zeroed, chained
+/// over the payload. Pure computation, async-signal-safe (rank processes
+/// verify and stamp frames with it after fork).
+inline std::uint32_t frameCrc(const FrameHeader& header,
+                              const std::byte* payload,
+                              std::size_t payload_len) {
+  FrameHeader h = header;
+  h.crc32c = 0;
+  std::uint32_t crc = util::crc32c(&h, sizeof(h));
+  if (payload_len != 0) crc = util::crc32c(payload, payload_len, crc);
+  return crc;
+}
+
+/// Stamp `header.crc32c` for the given payload.
+inline void stampFrameCrc(FrameHeader& header, const std::byte* payload,
+                          std::size_t payload_len) {
+  header.crc32c = frameCrc(header, payload, payload_len);
+}
+
+/// Does the stamped checksum match the frame's actual bytes?
+inline bool frameCrcValid(const FrameHeader& header, const std::byte* payload,
+                          std::size_t payload_len) {
+  return header.crc32c == frameCrc(header, payload, payload_len);
+}
+
+/// Encode one frame: header + payload, CRC stamped, ready for the wire.
+inline std::vector<std::byte> encodeFrame(FrameHeader header,
                                           const std::byte* payload,
                                           std::size_t payload_len) {
   if (payload_len != header.payload_bytes) {
@@ -82,6 +125,7 @@ inline std::vector<std::byte> encodeFrame(const FrameHeader& header,
         " payload byte(s) but " + std::to_string(payload_len) +
         " were supplied");
   }
+  stampFrameCrc(header, payload, payload_len);
   std::vector<std::byte> out(sizeof(FrameHeader) + payload_len);
   std::memcpy(out.data(), &header, sizeof(FrameHeader));
   if (payload_len != 0) {
@@ -161,6 +205,27 @@ struct TransportConfig {
   /// a received frame claiming more is rejected as corrupt.
   std::uint32_t max_frame_bytes = 1u << 20;
 
+  // --- liveness (heartbeats) -----------------------------------------------
+  /// Ping each rank this often; 0 disables heartbeats (the default —
+  /// failure detection is then EOF-only on TCP, watchdog-only in-proc).
+  /// The TCP backend drives pings from its poll loop; the in-proc
+  /// backend runs a monitor thread that round-trips no-op tasks through
+  /// each rank's scheduling queue — the logical equivalent of the wire
+  /// ping, sensitive to the same wedge (a parked queue never pongs).
+  double heartbeat_interval_ms = 0.0;
+  /// Consecutive unanswered pings before a rank is declared dead. On
+  /// TCP the child is then SIGKILLed so wire and model agree, and
+  /// detection funnels into the EOF → markCrashed → checkpoint-recovery
+  /// path; a SIGSTOP'd rank recovers with no EOF ever arriving.
+  int miss_threshold = 3;
+
+  /// Worst-case time from a rank wedging to its death being declared:
+  /// the in-flight ping's interval plus `miss_threshold` further missed
+  /// ticks. Drivers and tests size their drain deadlines above this.
+  double heartbeatWindowMs() const {
+    return heartbeat_interval_ms * static_cast<double>(miss_threshold + 1);
+  }
+
   /// Empty when valid, else a message naming the offending field.
   std::string validate() const {
     if (host.empty()) return "host must be a non-empty IPv4 literal";
@@ -174,6 +239,14 @@ struct TransportConfig {
     if (max_frame_bytes < 64) {
       return "max_frame_bytes = " + std::to_string(max_frame_bytes) +
              ": must be >= 64 (room for a control frame)";
+    }
+    if (heartbeat_interval_ms < 0.0) {
+      return "heartbeat_interval_ms = " + std::to_string(heartbeat_interval_ms) +
+             ": must be >= 0 (0 disables heartbeats)";
+    }
+    if (miss_threshold < 1) {
+      return "miss_threshold = " + std::to_string(miss_threshold) +
+             ": must be >= 1";
     }
     return {};
   }
@@ -217,6 +290,16 @@ class Transport {
   /// (respawn the process). Called off-worker while quiescent.
   virtual void restartRank(int rank) { (void)rank; }
 
+  /// The runtime is arming a wedge fault on `rank`. Return true when the
+  /// backend wedged the rank at the wire level (TCP: SIGSTOP the rank
+  /// process — it stops ponging but its socket stays open, so only
+  /// heartbeats can see it); false means the backend has no wire-level
+  /// hang and the runtime should park the rank's scheduling instead.
+  virtual bool onRankWedged(int rank) {
+    (void)rank;
+    return false;
+  }
+
   virtual const char* name() const = 0;
   /// One-line state summary for the watchdog diagnostic.
   virtual std::string describe() const { return name(); }
@@ -224,20 +307,51 @@ class Transport {
 
 /// Today's behavior, bit-identical: delivery is an enqueue on the
 /// destination rank's ready queue (via the delayed queue when a CommModel
-/// or injected delay applies). There is no wire to lose anything on.
+/// or injected delay applies). There is no wire to lose anything on —
+/// modeled corruption discards the copy as if a receiver-side CRC check
+/// rejected it (the reliable layer retransmits). When heartbeats are
+/// enabled a monitor thread round-trips no-op tasks through each rank's
+/// scheduling queue: the logical ping. A rank whose scheduling is parked
+/// (kWedge) stops answering and is declared dead after miss_threshold
+/// unanswered pings, mirroring the TCP detector.
 class InProcTransport final : public Transport {
  public:
+  InProcTransport() = default;
+  explicit InProcTransport(TransportConfig config)
+      : config_(std::move(config)) {}
+  ~InProcTransport() override;
+
   void start(Runtime& rt) override;
-  void stop() override {}
+  void stop() override;
   void deliver(Message msg, double delay_us) override;
   bool rankReachable(int rank) const override {
     (void)rank;
     return true;
   }
+  void restartRank(int rank) override;
   const char* name() const override { return "inproc"; }
 
  private:
+  void monitorLoop();
+
+  /// Per-rank logical-heartbeat state, touched by the monitor thread and
+  /// (acks only) by rank workers.
+  struct RankPulse {
+    std::shared_ptr<std::atomic<std::uint64_t>> acked =
+        std::make_shared<std::atomic<std::uint64_t>>(0);
+    std::uint64_t pinged = 0;  ///< monitor thread only
+    int missed = 0;            ///< monitor thread only
+    bool declared_dead = false;
+  };
+
+  TransportConfig config_;
   Runtime* rt_ = nullptr;
+  std::thread monitor_;
+  std::atomic<bool> monitor_stop_{false};
+  std::mutex monitor_mutex_;
+  std::condition_variable monitor_cv_;
+  std::vector<RankPulse> pulses_;  ///< monitor thread + restartRank
+  std::atomic<std::uint64_t> frame_ticket_{1};  ///< corrupt-decision ids
 };
 
 /// Each logical rank is a forked OS process speaking length-prefixed
@@ -261,6 +375,7 @@ class TcpTransport final : public Transport {
   bool rankReachable(int rank) const override;
   void onRankDead(int rank) override;
   void restartRank(int rank) override;
+  bool onRankWedged(int rank) override;
   const char* name() const override { return "tcp"; }
   std::string describe() const override;
 
@@ -276,6 +391,10 @@ class TcpTransport final : public Transport {
   std::uint64_t framesDelivered() const {
     return frames_delivered_.load(std::memory_order_relaxed);
   }
+  /// Frames the rank processes nacked as corrupt (CRC mismatch).
+  std::uint64_t framesCorrupt() const {
+    return frames_corrupt_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Parent-side state of one rank process's connection.
@@ -286,6 +405,10 @@ class TcpTransport final : public Transport {
     std::vector<std::byte> rx;  ///< partial receipt bytes
     std::deque<std::vector<std::byte>> txq;  ///< frames awaiting write
     std::size_t tx_off = 0;  ///< bytes of txq.front() already written
+    // Heartbeat state (IO thread only, under mutex_):
+    std::chrono::steady_clock::time_point next_ping{};  ///< next ping due
+    bool hb_outstanding = false;  ///< a ping is awaiting its pong
+    int hb_missed = 0;            ///< consecutive unanswered pings
   };
   /// A message whose frame is on the wire, keyed by frame seq; the
   /// closure runs when the rank process's receipt comes back.
@@ -297,6 +420,9 @@ class TcpTransport final : public Transport {
   void spawnRank(int rank);
   void ioLoop();
   void wake();
+  /// Send due pings, count misses, and kill ranks past the threshold
+  /// (IO thread only). No-op unless heartbeats are enabled.
+  void driveHeartbeats();
   /// Flush endpoint r's write queue (IO thread only).
   void flushWrites(int rank);
   /// Consume receipts from endpoint r's rx buffer (IO thread only).
@@ -323,6 +449,7 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_delivered_{0};
+  std::atomic<std::uint64_t> frames_corrupt_{0};
 };
 
 /// Build the backend selected by `config`.

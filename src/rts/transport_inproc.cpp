@@ -1,5 +1,6 @@
 #include "rts/transport.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -7,9 +8,108 @@
 
 namespace paratreet::rts {
 
-void InProcTransport::start(Runtime& rt) { rt_ = &rt; }
+InProcTransport::~InProcTransport() { stop(); }
+
+void InProcTransport::start(Runtime& rt) {
+  rt_ = &rt;
+  if (config_.heartbeat_interval_ms <= 0.0) return;
+  pulses_.clear();
+  pulses_.resize(static_cast<std::size_t>(rt.numProcs()));
+  monitor_stop_.store(false, std::memory_order_release);
+  monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+void InProcTransport::stop() {
+  if (!monitor_.joinable()) return;
+  {
+    std::lock_guard lock(monitor_mutex_);
+    monitor_stop_.store(true, std::memory_order_release);
+  }
+  monitor_cv_.notify_all();
+  monitor_.join();
+}
+
+void InProcTransport::restartRank(int rank) {
+  if (rank < 0 || rank >= static_cast<int>(pulses_.size())) return;
+  // Fresh incarnation, fresh pulse: pings addressed to the dead
+  // incarnation were purged unanswered, which must not count against
+  // the restarted rank.
+  std::lock_guard lock(monitor_mutex_);
+  auto& p = pulses_[static_cast<std::size_t>(rank)];
+  p.acked->store(0, std::memory_order_relaxed);
+  p.pinged = 0;
+  p.missed = 0;
+  p.declared_dead = false;
+}
+
+void InProcTransport::monitorLoop() {
+  // The logical heartbeat: round-trip a no-op task through each rank's
+  // scheduling queue. A healthy rank runs it within one interval and
+  // bumps its ack counter; a wedged rank (workers parked, queues open)
+  // accepts the ping but never runs it — the same silence a SIGSTOPped
+  // rank process produces on the wire. After miss_threshold unanswered
+  // pings the rank is declared dead via the ordinary transport-death
+  // path, so recovery is identical to a crash.
+  const auto interval = std::chrono::duration<double, std::milli>(
+      config_.heartbeat_interval_ms);
+  std::unique_lock lock(monitor_mutex_);
+  while (true) {
+    if (monitor_cv_.wait_for(lock, interval, [this] {
+          return monitor_stop_.load(std::memory_order_acquire);
+        })) {
+      return;
+    }
+    std::vector<int> missed;
+    std::vector<int> condemned;
+    for (std::size_t r = 0; r < pulses_.size(); ++r) {
+      auto& p = pulses_[r];
+      if (p.declared_dead || !rt_->rankAlive(static_cast<int>(r))) {
+        // Crashed or excluded ranks are someone else's problem; track
+        // nothing until a restart resets the pulse.
+        continue;
+      }
+      const std::uint64_t acked =
+          p.acked->load(std::memory_order_acquire);
+      if (p.pinged > acked) {
+        ++p.missed;
+        missed.push_back(static_cast<int>(r));
+        if (p.missed >= config_.miss_threshold) {
+          p.declared_dead = true;
+          condemned.push_back(static_cast<int>(r));
+          continue;
+        }
+      } else {
+        p.missed = 0;
+      }
+      ++p.pinged;
+      auto ack = p.acked;
+      rt_->enqueue(static_cast<int>(r), [ack] {
+        ack->fetch_add(1, std::memory_order_release);
+      });
+    }
+    lock.unlock();
+    for (const int r : missed) rt_->noteHeartbeatMissed(r);
+    for (const int r : condemned) rt_->onTransportRankDown(r);
+    lock.lock();
+  }
+}
 
 void InProcTransport::deliver(Message msg, double delay_us) {
+  // Modeled in-flight corruption: there is no physical wire to flip bits
+  // on, so a corrupted copy is simply discarded — exactly what the TCP
+  // receiver's CRC rejection amounts to. The reliable layer's ack
+  // timeout retransmits (the retransmission draws a fresh ticket), so
+  // results never change.
+  if (auto* inj = rt_->faultInjector();
+      inj != nullptr && inj->config().corrupt_p > 0.0) {
+    const std::uint64_t ticket =
+        frame_ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (inj->onFrameCorrupt(ticket)) {
+      rt_->noteFault(FaultKind::kCorrupt);
+      rt_->noteFrameCorrupt(msg.to);
+      return;
+    }
+  }
   // The destination's queues are the wire: a zero-delay delivery is a
   // plain enqueue (enqueueAfterUs delegates), so this path is
   // bit-identical to the pre-Transport runtime.
@@ -22,7 +122,7 @@ std::unique_ptr<Transport> makeTransport(const TransportConfig& config) {
   }
   switch (config.kind) {
     case TransportKind::kInProc:
-      return std::make_unique<InProcTransport>();
+      return std::make_unique<InProcTransport>(config);
     case TransportKind::kTcp:
       return std::make_unique<TcpTransport>(config);
   }

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -84,6 +85,7 @@ void setNonBlocking(int fd) {
   FrameHeader hello;
   hello.kind = static_cast<std::uint16_t>(MessageKind::kHello);
   hello.from = static_cast<std::int16_t>(rank);
+  stampFrameCrc(hello, nullptr, 0);
   if (!writeFull(fd, &hello, sizeof(hello))) ::_exit(42);
   std::byte skim[4096];
   for (;;) {
@@ -96,18 +98,43 @@ void setNonBlocking(int fd) {
         h.to != static_cast<std::int16_t>(rank)) {
       ::_exit(44);  // corrupt or misrouted frame: die loudly
     }
+    // Verify the end-to-end checksum incrementally while skimming the
+    // payload (the skim buffer never holds the whole frame).
+    FrameHeader hz = h;
+    hz.crc32c = 0;
+    std::uint32_t crc = util::crc32c(&hz, sizeof(hz));
     std::uint32_t left = h.payload_bytes;
     while (left > 0) {
       const std::size_t want =
           std::min<std::size_t>(left, sizeof(skim));
       if (readFull(fd, skim, want) != 1) ::_exit(45);
+      crc = util::crc32c(skim, want, crc);
       left -= static_cast<std::uint32_t>(want);
+    }
+    const bool crc_ok = crc == h.crc32c;
+    if (h.kind == static_cast<std::uint16_t>(MessageKind::kHeartbeat)) {
+      // Liveness ping: echo a pong. A corrupted ping is simply not
+      // answered — to the parent that is one missed heartbeat, exactly
+      // the signal corruption of a control frame should produce.
+      if (!crc_ok) continue;
+      FrameHeader pong;
+      pong.kind = static_cast<std::uint16_t>(MessageKind::kHeartbeat);
+      pong.from = static_cast<std::int16_t>(rank);
+      pong.seq = h.seq;
+      stampFrameCrc(pong, nullptr, 0);
+      if (!writeFull(fd, &pong, sizeof(pong))) ::_exit(46);
+      continue;
     }
     FrameHeader receipt;
     receipt.kind = static_cast<std::uint16_t>(MessageKind::kReceipt);
     receipt.from = static_cast<std::int16_t>(rank);
     receipt.seq = h.seq;
     receipt.declared_bytes = h.declared_bytes;
+    // A checksum mismatch is a detected in-flight corruption: nack it so
+    // the parent treats the frame as dropped (the reliable layer's
+    // retransmission heals it) instead of running the closure.
+    if (!crc_ok) receipt.flags = kFrameFlagCorruptNack;
+    stampFrameCrc(receipt, nullptr, 0);
     if (!writeFull(fd, &receipt, sizeof(receipt))) ::_exit(46);
   }
 }
@@ -201,31 +228,44 @@ void TcpTransport::spawnRank(int rank) {
                     max_frame);
   }
 
-  // Parent: wait for the child to dial back and identify itself.
-  const int timeout_ms =
-      std::max(1, static_cast<int>(config_.spawn_timeout_ms));
-  pollfd pfd{listen_fd_, POLLIN, 0};
-  const int rc = ::poll(&pfd, 1, timeout_ms);
+  // Parent: wait for the child to dial back and identify itself. One
+  // absolute deadline covers both the connect and the hello — previously
+  // each wait got the full spawn_timeout_ms, making worst-case startup
+  // twice the documented timeout.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(config_.spawn_timeout_ms));
+  const auto remaining_ms = [&deadline] {
+    return std::max<int>(
+        0, static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+               deadline - std::chrono::steady_clock::now())
+               .count()));
+  };
   const auto fail = [&](const std::string& why) -> std::runtime_error {
     ::kill(pid, SIGKILL);
     ::waitpid(pid, nullptr, 0);
     return std::runtime_error("TcpTransport: rank " + std::to_string(rank) +
                               " process " + why + " within " +
-                              std::to_string(timeout_ms) + " ms");
+                              std::to_string(config_.spawn_timeout_ms) +
+                              " ms");
   };
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, std::max(1, remaining_ms()));
   if (rc <= 0) throw fail("did not connect");
   const int fd = ::accept(listen_fd_, nullptr, nullptr);
   if (fd < 0) throw fail("failed accept()");
   FrameHeader hello;
   pollfd hfd{fd, POLLIN, 0};
-  if (::poll(&hfd, 1, timeout_ms) <= 0 ||
+  if (::poll(&hfd, 1, remaining_ms()) <= 0 ||
       readFull(fd, &hello, sizeof(hello)) != 1) {
     ::close(fd);
     throw fail("sent no hello");
   }
   if (hello.magic != FrameHeader::kMagic ||
       hello.kind != static_cast<std::uint16_t>(MessageKind::kHello) ||
-      hello.from != static_cast<std::int16_t>(rank)) {
+      hello.from != static_cast<std::int16_t>(rank) ||
+      !frameCrcValid(hello, nullptr, 0)) {
     ::close(fd);
     throw fail("sent a malformed hello");
   }
@@ -241,6 +281,9 @@ void TcpTransport::spawnRank(int rank) {
     ep.rx.clear();
     ep.txq.clear();
     ep.tx_off = 0;
+    ep.next_ping = {};  // heartbeat clock restarts on first drive pass
+    ep.hb_outstanding = false;
+    ep.hb_missed = 0;
   }
 }
 
@@ -258,11 +301,7 @@ void TcpTransport::stop() {
         ::close(ep.fd);
         ep.fd = -1;
       }
-      if (ep.pid > 0) {
-        ::kill(ep.pid, SIGKILL);
-        ::waitpid(ep.pid, nullptr, 0);
-        ep.pid = -1;
-      }
+      reap(ep);
       ep.up = false;
       ep.rx.clear();
       ep.txq.clear();
@@ -322,6 +361,22 @@ void TcpTransport::deliver(Message msg, double delay_us) {
   }
   h.payload_bytes = static_cast<std::uint32_t>(payload_len);
   auto frame = encodeFrame(h, payload, payload_len);
+  // Seeded in-flight corruption: flip one payload bit AFTER the checksum
+  // was stamped, modeling a bit-flip on the wire. The rank process's CRC
+  // check nacks the frame, and the reliable layer retransmits (a fresh
+  // frame seq draws a fresh corruption decision). Header bits are left
+  // alone: stream framing must survive for the connection to live — real
+  // header damage is connection loss, which EOF detection already covers.
+  if (payload_len > 0) {
+    if (auto* inj = rt_->faultInjector();
+        inj != nullptr && inj->onFrameCorrupt(seq)) {
+      const std::size_t bit =
+          inj->corruptBitIndex(seq, 0, payload_len * 8);
+      frame[sizeof(FrameHeader) + bit / 8] ^= std::byte{
+          static_cast<unsigned char>(1u << (bit % 8))};
+      rt_->noteFault(FaultKind::kCorrupt);
+    }
+  }
   // The frame is now on the wire: it counts toward quiescence until the
   // rank process's receipt comes back (or its death orphans it).
   rt_->holdQuiescence();
@@ -340,7 +395,15 @@ void TcpTransport::wake() {
 void TcpTransport::ioLoop() {
   std::vector<pollfd> pfds;
   std::vector<int> ranks;  // pfds[i] -> rank; slot 0 is the wake pipe
+  // With heartbeats enabled the poll timeout must tick well inside the
+  // ping interval or pings would be sent (and misses counted) late.
+  int poll_ms = 200;
+  if (config_.heartbeat_interval_ms > 0.0) {
+    poll_ms = std::max(
+        1, std::min(200, static_cast<int>(config_.heartbeat_interval_ms / 2)));
+  }
   for (;;) {
+    driveHeartbeats();
     pfds.clear();
     ranks.clear();
     pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
@@ -357,7 +420,8 @@ void TcpTransport::ioLoop() {
       }
     }
     if (io_stop_.load(std::memory_order_acquire)) return;
-    const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 200);
+    const int n =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), poll_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;
@@ -375,6 +439,56 @@ void TcpTransport::ioLoop() {
       }
     }
   }
+}
+
+void TcpTransport::driveHeartbeats() {
+  if (config_.heartbeat_interval_ms <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              config_.heartbeat_interval_ms));
+  std::vector<int> missed;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t r = 0; r < endpoints_.size(); ++r) {
+      auto& ep = endpoints_[r];
+      if (!ep.up) continue;
+      if (ep.next_ping.time_since_epoch().count() == 0) {
+        // First pass after (re)spawn: start the clock, don't ping yet.
+        ep.next_ping = now + interval;
+        continue;
+      }
+      if (now < ep.next_ping) continue;
+      if (ep.hb_outstanding) {
+        ++ep.hb_missed;
+        missed.push_back(static_cast<int>(r));
+        if (ep.hb_missed >= config_.miss_threshold) {
+          // The rank is alive but not answering (SIGSTOP, livelock, a
+          // wedged event loop): declare it dead. SIGKILL cannot be
+          // blocked or stopped, and the shutdown() surfaces as EOF on
+          // the socket, funnelling this death through the same
+          // handleEndpointDeath → markCrashed → checkpoint-recovery
+          // path a real process death takes — wire and model agree.
+          if (ep.pid > 0) ::kill(ep.pid, SIGKILL);
+          if (ep.fd >= 0) ::shutdown(ep.fd, SHUT_RDWR);
+          ep.next_ping = now + interval;
+          continue;
+        }
+      }
+      FrameHeader ping;
+      ping.kind = static_cast<std::uint16_t>(MessageKind::kHeartbeat);
+      ping.from = -1;  // the parent, not a logical rank
+      ping.to = static_cast<std::int16_t>(r);
+      ping.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+      // Pings bypass inflight_/quiescence entirely: liveness probing is
+      // transport chatter, not application traffic to drain.
+      ep.txq.push_back(encodeFrame(ping, nullptr, 0));
+      ep.hb_outstanding = true;
+      ep.next_ping = now + interval;
+    }
+  }
+  for (const int r : missed) rt_->noteHeartbeatMissed(r);
 }
 
 void TcpTransport::flushWrites(int rank) {
@@ -408,6 +522,7 @@ void TcpTransport::flushWrites(int rank) {
 
 void TcpTransport::consumeReceipts(int rank) {
   std::vector<InFlight> done;
+  std::size_t nacked = 0;
   bool dead = false;
   {
     std::lock_guard lock(mutex_);
@@ -433,15 +548,34 @@ void TcpTransport::consumeReceipts(int rank) {
     while (ep.rx.size() - off >= sizeof(FrameHeader)) {
       FrameHeader h;
       std::memcpy(&h, ep.rx.data() + off, sizeof(FrameHeader));
-      if (h.magic != FrameHeader::kMagic ||
-          h.kind != static_cast<std::uint16_t>(MessageKind::kReceipt) ||
-          h.payload_bytes != 0) {
+      const bool is_receipt =
+          h.kind == static_cast<std::uint16_t>(MessageKind::kReceipt);
+      const bool is_pong =
+          h.kind == static_cast<std::uint16_t>(MessageKind::kHeartbeat);
+      if (h.magic != FrameHeader::kMagic || (!is_receipt && !is_pong) ||
+          h.payload_bytes != 0 || !frameCrcValid(h, nullptr, 0)) {
         dead = true;  // protocol corruption: treat the endpoint as lost
         break;
       }
       off += sizeof(FrameHeader);
+      if (is_pong) {
+        // The rank answered: whatever ping this pong answers, the rank
+        // was alive to send it — reset the miss streak.
+        ep.hb_outstanding = false;
+        ep.hb_missed = 0;
+        continue;
+      }
       const auto it = inflight_.find(h.seq);
       if (it == inflight_.end()) continue;  // receipt outlived its message
+      if ((h.flags & kFrameFlagCorruptNack) != 0) {
+        // The rank process's CRC check rejected the frame: a detected
+        // drop. Retire the frame WITHOUT running the closure — the
+        // reliable layer's ack timeout retransmits it (and that timer
+        // task keeps quiescence pending meanwhile).
+        inflight_.erase(it);
+        ++nacked;
+        continue;
+      }
       done.push_back(std::move(it->second));
       inflight_.erase(it);
     }
@@ -451,6 +585,11 @@ void TcpTransport::consumeReceipts(int rank) {
     }
   }
   frames_delivered_.fetch_add(done.size(), std::memory_order_relaxed);
+  frames_corrupt_.fetch_add(nacked, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < nacked; ++i) {
+    rt_->noteFrameCorrupt(rank);
+    rt_->releaseQuiescence();
+  }
   for (auto& f : done) enqueueLocally(std::move(f));
   if (dead) handleEndpointDeath(rank);
 }
@@ -466,7 +605,6 @@ void TcpTransport::enqueueLocally(InFlight inflight) {
 
 void TcpTransport::handleEndpointDeath(int rank) {
   std::vector<InFlight> orphans;
-  pid_t pid = -1;
   {
     std::lock_guard lock(mutex_);
     auto& ep = endpoints_[static_cast<std::size_t>(rank)];
@@ -477,8 +615,10 @@ void TcpTransport::handleEndpointDeath(int rank) {
     ep.rx.clear();
     ep.txq.clear();
     ep.tx_off = 0;
-    pid = ep.pid;
-    ep.pid = -1;
+    // Reap where the death is observed: without the waitpid a self-dying
+    // rank would sit as a zombie until restart or stop() — a shrink-mode
+    // run would accumulate one zombie per death for its whole lifetime.
+    reap(ep);
     for (auto it = inflight_.begin(); it != inflight_.end();) {
       if (it->second.msg.to == rank) {
         orphans.push_back(std::move(it->second));
@@ -488,16 +628,34 @@ void TcpTransport::handleEndpointDeath(int rank) {
       }
     }
   }
-  if (pid > 0) {
-    ::kill(pid, SIGKILL);  // idempotent when the process died on its own
-    ::waitpid(pid, nullptr, 0);
-  }
   // The endpoint's death IS the crash signal: park the rank first so its
   // workers stop popping, then strand the orphaned deliveries on its
   // queue — their backlog is what trips the drain watchdog, and the
   // recovery's purge discards them with correct quiescence accounting.
   rt_->onTransportRankDown(rank);
   for (auto& f : orphans) enqueueLocally(std::move(f));
+}
+
+void TcpTransport::reap(Endpoint& ep) {
+  if (ep.pid <= 0) return;
+  // SIGKILL first so waitpid cannot block on a process that is merely
+  // stopped (SIGKILL acts on SIGSTOPped processes); idempotent when the
+  // process already died on its own.
+  ::kill(ep.pid, SIGKILL);
+  ::waitpid(ep.pid, nullptr, 0);
+  ep.pid = -1;
+}
+
+bool TcpTransport::onRankWedged(int rank) {
+  std::lock_guard lock(mutex_);
+  if (rank < 0 || rank >= static_cast<int>(endpoints_.size())) return false;
+  auto& ep = endpoints_[static_cast<std::size_t>(rank)];
+  if (!ep.up || ep.pid <= 0) return false;
+  // SIGSTOP, not SIGKILL: the process stays alive and its socket stays
+  // open, so no EOF ever arrives — only missed heartbeats can reveal it.
+  // This is the wire-level wedge the kWedge fault models.
+  ::kill(ep.pid, SIGSTOP);
+  return true;
 }
 
 void TcpTransport::onRankDead(int rank) {
@@ -541,7 +699,8 @@ std::string TcpTransport::describe() const {
   for (const auto& ep : endpoints_) up += ep.up ? 1 : 0;
   return "tcp(port=" + std::to_string(bound_port_) + ", ranks up " +
          std::to_string(up) + "/" + std::to_string(endpoints_.size()) +
-         ", frames in flight " + std::to_string(inflight_.size()) + ")";
+         ", frames in flight " + std::to_string(inflight_.size()) +
+         ", corrupt nacks " + std::to_string(framesCorrupt()) + ")";
 }
 
 }  // namespace paratreet::rts

@@ -53,8 +53,9 @@ Configuration bitwiseConfig() {
   return conf;
 }
 
-/// A seeded mixed schedule of drops, duplicates and delays (the transport
-/// faults that preserve liveness under reliable delivery).
+/// A seeded mixed schedule of drops, duplicates, delays and frame
+/// corruption (the transport faults that preserve liveness under
+/// reliable delivery: a corrupted copy is a detected drop).
 rts::FaultConfig mixedSchedule(std::uint64_t seed) {
   rts::FaultConfig f;
   f.enabled = true;
@@ -65,6 +66,7 @@ rts::FaultConfig mixedSchedule(std::uint64_t seed) {
   f.delay_min_us = 20.0;
   f.delay_max_us = 300.0;
   f.reorder_p = 0.15;
+  f.corrupt_p = 0.1;
   f.drain_deadline_ms = 60000.0;  // a hang should fail fast, not time out CI
   return f;
 }
@@ -88,13 +90,22 @@ ChaosRun runGravity(const rts::FaultConfig& fault,
   if (instr.metrics != nullptr) rt.attachMetrics(instr.metrics);
   if (instr.trace != nullptr) rt.attachTrace(instr.trace);
   ChaosRun out;
+  // One traversal of the bitwise config only puts a dozen-odd frames on
+  // the wire — few enough that a whole fault kind can miss every draw
+  // under an unlucky seed. Run several rounds (each rebuild flushes the
+  // cache, so every round refetches over the transport) so the seeded
+  // schedule gets enough draws for each enabled kind to fire.
+  constexpr int kRounds = 6;
   {
     Forest<CentroidData, KdTreeType> forest(rt, bitwiseConfig(), instr);
     forest.load(makeParticles(uniformCube(600, 77)));
     forest.decompose();
-    forest.build();
-    forest.traverse<GravityVisitor>(GravityVisitor{},
-                                    TraversalStyle::kTransposed, kernel);
+    for (int round = 0; round < kRounds; ++round) {
+      if (round > 0) forest.flush();  // rebuild and refetch from scratch
+      forest.build();
+      forest.traverse<GravityVisitor>(GravityVisitor{},
+                                      TraversalStyle::kTransposed, kernel);
+    }
     out.particles = forest.collect();
     out.cache = forest.cacheStatsTotal();
   }
@@ -134,6 +145,9 @@ TEST(Chaos, BitwiseIdenticalPhysicsUnderTransportFaults) {
   EXPECT_GT(injected, 0u);
   EXPECT_GT(faulty.fault_counts[static_cast<std::size_t>(
                 rts::FaultKind::kDrop)],
+            0u);
+  EXPECT_GT(faulty.fault_counts[static_cast<std::size_t>(
+                rts::FaultKind::kCorrupt)],
             0u);
   EXPECT_GT(faulty.retries, 0u);
   expectBitwiseEqual(clean.particles, faulty.particles);

@@ -1,0 +1,521 @@
+// Liveness & integrity suite: the heartbeat hang detector, the
+// escalating recovery budgets, and the end-to-end checksums.
+//
+// A wedged rank — alive but silent (SIGSTOP over TCP, parked scheduling
+// in-process) — never EOFs, so only missed heartbeats can see it; once
+// the miss threshold trips the wedge is promoted to a crash and recovery
+// runs the unchanged checkpoint path, bitwise under kRestart. Seeded
+// frame corruption must be caught by the frame CRC and healed by
+// retransmission without changing a bit of physics; a corrupted stored
+// checkpoint copy must be detected by its stamped checksum and recovery
+// must fall back to the buddy copy or an older sealed generation. The
+// RecoveryPolicy budgets turn a crash-looping rank into an escalation
+// (restart -> shrink) and an exhausted global budget into a loud throw.
+//
+// The gravity setup reuses the bitwise-reproducible kd config of
+// test_chaos.cpp / test_transport.cpp: two Subtrees and two Partitions
+// on 2 procs x 1 worker, fetch_depth shipping a whole remote subtree.
+//
+// The TCP tests fork rank processes, which TSan cannot follow; they
+// GTEST_SKIP under TSan like the rest of the TCP coverage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/gravity/gravity.hpp"
+#include "core/driver.hpp"
+#include "core/serialization.hpp"
+#include "observability/report.hpp"
+#include "rts/checkpoint.hpp"
+#include "rts/fault.hpp"
+#include "rts/runtime.hpp"
+#include "rts/transport.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define PARATREET_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARATREET_TSAN 1
+#endif
+#endif
+#ifndef PARATREET_TSAN
+#define PARATREET_TSAN 0
+#endif
+
+#define SKIP_UNDER_TSAN()                                                \
+  do {                                                                   \
+    if (PARATREET_TSAN) {                                                \
+      GTEST_SKIP() << "tcp transport forks rank processes, which TSan "  \
+                      "cannot follow; the CI TSan job runs inproc";      \
+    }                                                                    \
+  } while (0)
+
+namespace paratreet {
+namespace {
+
+// --- fault model -----------------------------------------------------------
+
+TEST(FaultModel, WedgeKnobsAreSeededAndValidated) {
+  rts::FaultConfig f;
+  EXPECT_EQ(f.validate(), "");
+  EXPECT_EQ(f.wedge_step, -1);
+
+  // Seeded victim/budget picks are pure functions of the seed.
+  f.seed = 99;
+  EXPECT_EQ(f.wedgeVictim(4), f.wedgeVictim(4));
+  EXPECT_GE(f.wedgeVictim(4), 0);
+  EXPECT_LT(f.wedgeVictim(4), 4);
+  EXPECT_GE(f.wedgeTaskBudget(), 1);
+  f.wedge_rank = 7;
+  EXPECT_EQ(f.wedgeVictim(4), 3);  // pinned, wrapped to the rank count
+  f.wedge_after_tasks = 5;
+  EXPECT_EQ(f.wedgeTaskBudget(), 5);
+
+  f = {};
+  f.wedge_step = -2;
+  EXPECT_NE(f.validate().find("wedge_step"), std::string::npos);
+  f = {};
+  f.wedge_rank = -2;
+  EXPECT_NE(f.validate().find("wedge_rank"), std::string::npos);
+  f = {};
+  f.corrupt_p = 1.5;
+  EXPECT_NE(f.validate().find("corrupt_p"), std::string::npos);
+}
+
+TEST(FaultModel, CorruptionCountsAsAMessageFault) {
+  // corrupt_p alone must arm the reliable layer: a discarded corrupt copy
+  // is healed by retransmission, which only exists when RL is active.
+  rts::FaultConfig f;
+  EXPECT_FALSE(f.anyMessageFaults());
+  f.corrupt_p = 0.1;
+  EXPECT_TRUE(f.anyMessageFaults());
+}
+
+TEST(FaultModel, FrameCorruptionDecisionsAreDeterministic) {
+  rts::FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.seed = 1234;
+  cfg.corrupt_p = 0.2;
+  rts::FaultInjector a(cfg);
+  rts::FaultInjector b(cfg);
+  int fired = 0;
+  for (std::uint64_t seq = 0; seq < 400; ++seq) {
+    const bool hit = a.onFrameCorrupt(seq);
+    EXPECT_EQ(hit, b.onFrameCorrupt(seq)) << "seq " << seq;
+    if (hit) ++fired;
+    EXPECT_LT(a.corruptBitIndex(seq, 0, 512), 512u);
+    EXPECT_EQ(a.corruptBitIndex(seq, 0, 512), b.corruptBitIndex(seq, 0, 512));
+  }
+  // ~20% of 400 frames; generous bounds so the test never flakes.
+  EXPECT_GT(fired, 30);
+  EXPECT_LT(fired, 170);
+  EXPECT_EQ(a.count(rts::FaultKind::kCorrupt),
+            static_cast<std::uint64_t>(fired));
+}
+
+// --- configuration plumbing ------------------------------------------------
+
+TEST(RecoveryPolicySuite, ValidateNamesTheOffendingField) {
+  RecoveryPolicy p;
+  EXPECT_EQ(p.validate(), "");
+  p.max_restarts_per_rank = -1;
+  EXPECT_NE(p.validate().find("max_restarts_per_rank"), std::string::npos);
+  p = {};
+  p.restart_backoff_ms = -0.5;
+  EXPECT_NE(p.validate().find("restart_backoff_ms"), std::string::npos);
+  p = {};
+  p.max_recoveries = -2;
+  EXPECT_NE(p.validate().find("max_recoveries"), std::string::npos);
+  p = {};
+  p.max_recoveries = -1;  // unbounded is legal
+  EXPECT_EQ(p.validate(), "");
+}
+
+TEST(RecoveryPolicySuite, ConfigurationValidateChainsRecoveryErrors) {
+  Configuration conf;
+  EXPECT_EQ(conf.validate(), "");
+  conf.recovery.max_restarts_per_rank = -3;
+  const std::string err = conf.validate();
+  EXPECT_NE(err.find("Configuration.recovery."), std::string::npos) << err;
+  EXPECT_NE(err.find("max_restarts_per_rank"), std::string::npos) << err;
+}
+
+TEST(HeartbeatConfig, ValidatesAndSizesTheWindow) {
+  rts::TransportConfig t;
+  EXPECT_EQ(t.validate(), "");
+  EXPECT_EQ(t.heartbeat_interval_ms, 0.0);  // off by default
+
+  t.heartbeat_interval_ms = 50.0;
+  t.miss_threshold = 3;
+  EXPECT_EQ(t.validate(), "");
+  EXPECT_DOUBLE_EQ(t.heartbeatWindowMs(), 200.0);
+
+  t.heartbeat_interval_ms = -1.0;
+  EXPECT_NE(t.validate().find("heartbeat_interval_ms"), std::string::npos);
+  t = {};
+  t.miss_threshold = 0;
+  EXPECT_NE(t.validate().find("miss_threshold"), std::string::npos);
+}
+
+// --- checkpoint integrity --------------------------------------------------
+
+TEST(ChunkIntegrity, DeserializeRejectsBitFlips) {
+  std::vector<Particle> particles = makeParticles(uniformCube(32, 5));
+  auto bytes = serializeCheckpointChunk(3, 1, particles);
+  // Intact chunk round-trips.
+  const auto decoded = deserializeCheckpointChunk(bytes);
+  EXPECT_EQ(decoded.first.step, 3);
+  EXPECT_EQ(decoded.second.size(), particles.size());
+
+  // One flipped bit deep in particle state fails the checksum loudly.
+  auto corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= std::byte{0x10};
+  try {
+    deserializeCheckpointChunk(corrupt);
+    FAIL() << "bit-flipped chunk decoded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+std::vector<std::byte> tag(int rank, int step) {
+  return {static_cast<std::byte>(0xA0 + rank),
+          static_cast<std::byte>(0xB0 + step),
+          static_cast<std::byte>(rank * 16 + step)};
+}
+
+TEST(ChunkIntegrity, CorruptedCopyFallsBackToBuddy) {
+  rts::Runtime rt({3, 1});
+  rts::CheckpointStore store;
+  store.init(&rt, nullptr);
+  for (int r = 0; r < 3; ++r) store.commit(r, 0, tag(r, 0));
+  rt.drain();
+  store.seal(0);
+
+  // Bit rot in rank 1's own copy: the generation stays restorable via the
+  // intact buddy copy, and assemble() returns the pristine bytes.
+  ASSERT_TRUE(store.corruptStoredChunk(1, 1, 0));
+  EXPECT_EQ(store.latestRestorableStep(), 0);
+  EXPECT_EQ(store.assemble(0)[1], tag(1, 0));
+
+  // Rot in the buddy copy too: no intact copy of rank 1's chunk survives.
+  ASSERT_TRUE(store.corruptStoredChunk(2, 1, 0));
+  EXPECT_EQ(store.latestRestorableStep(), rts::CheckpointStore::kNoStep);
+  try {
+    store.assemble(0);
+    FAIL() << "assembled a generation with no intact copy";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("intact"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ChunkIntegrity, CorruptedGenerationFallsBackToOlderSealed) {
+  rts::Runtime rt({3, 1});
+  rts::CheckpointStore store;
+  store.init(&rt, nullptr);
+  for (int step : {0, 1}) {
+    for (int r = 0; r < 3; ++r) store.commit(r, step, tag(r, step));
+    rt.drain();
+    store.seal(step);
+  }
+  EXPECT_EQ(store.latestRestorableStep(), 1);
+
+  // Both copies of rank 2's step-1 chunk rot (own + the buddy copy rank 0
+  // holds): recovery falls back one sealed generation instead of
+  // restoring garbage.
+  ASSERT_TRUE(store.corruptStoredChunk(2, 2, 1));
+  ASSERT_TRUE(store.corruptStoredChunk(0, 2, 1));
+  EXPECT_EQ(store.latestRestorableStep(), 0);
+  EXPECT_EQ(store.assemble(0)[2], tag(2, 0));
+}
+
+TEST(ChunkIntegrity, CorruptStoredChunkReportsMisses) {
+  rts::Runtime rt({2, 1});
+  rts::CheckpointStore store;
+  store.init(&rt, nullptr);
+  EXPECT_FALSE(store.corruptStoredChunk(0, 0, 7));   // nothing stored
+  EXPECT_FALSE(store.corruptStoredChunk(1, 0, 7));   // no held copy
+  EXPECT_FALSE(store.corruptStoredChunk(-1, 0, 7));  // out of range
+}
+
+// --- gravity harness (bitwise-reproducible kd config) ----------------------
+
+class LivenessGravity : public Driver<CentroidData, KdTreeType> {
+ public:
+  Configuration overrides;
+  int traversal_calls = 0;
+
+  void configure(Configuration& conf) override {
+    conf = overrides;
+    conf.tree_type = TreeType::eKd;
+    conf.decomp_type = DecompType::eKd;
+    conf.min_subtrees = 2;
+    conf.min_partitions = 2;
+    conf.bucket_size = 16;
+    conf.fetch_depth = 32;
+    conf.num_iterations = 6;
+  }
+  void traversal(int) override {
+    ++traversal_calls;
+    startDown<GravityVisitor>();
+  }
+  void postTraversal(int) override {
+    forest().forEachParticle([](Particle& p) {
+      p.velocity += p.acceleration * 1e-3;
+      p.position += p.velocity * 1e-3;
+    });
+  }
+};
+
+struct RunResult {
+  std::vector<Particle> particles;
+  int traversal_calls = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t frames_corrupt = 0;
+};
+
+RunResult runGravity(Configuration overrides,
+                     rts::TransportConfig transport = {},
+                     Instrumentation instr = {}) {
+  rts::Runtime::Config rc;
+  rc.n_procs = 2;
+  rc.workers_per_proc = 1;
+  rc.transport = transport;
+  rts::Runtime rt(rc);
+  LivenessGravity app;
+  app.overrides = std::move(overrides);
+  app.overrides.transport = transport;
+  app.run(rt, makeParticles(uniformCube(600, 77)), instr);
+  RunResult out{app.forest().collect(), app.traversal_calls, rt.crashCount(),
+                0};
+  if (auto* tcp = dynamic_cast<rts::TcpTransport*>(&rt.transport())) {
+    out.frames_corrupt = tcp->framesCorrupt();
+  }
+  return out;
+}
+
+void expectBitwiseEqual(const std::vector<Particle>& a,
+                        const std::vector<Particle>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&a[i].position, &b[i].position,
+                             sizeof(a[i].position)))
+        << "position of particle " << i << " differs";
+    EXPECT_EQ(0, std::memcmp(&a[i].velocity, &b[i].velocity,
+                             sizeof(a[i].velocity)))
+        << "velocity of particle " << i << " differs";
+    EXPECT_EQ(0, std::memcmp(&a[i].acceleration, &b[i].acceleration,
+                             sizeof(a[i].acceleration)))
+        << "acceleration of particle " << i << " differs";
+  }
+}
+
+void expectEqualWithin(const std::vector<Particle>& a,
+                       const std::vector<Particle>& b, double rel) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::abs(a[i].position.length()) + 1.0;
+    EXPECT_NEAR(a[i].position.x, b[i].position.x, rel * scale);
+    EXPECT_NEAR(a[i].position.y, b[i].position.y, rel * scale);
+    EXPECT_NEAR(a[i].position.z, b[i].position.z, rel * scale);
+  }
+}
+
+/// Wedge config: the victim hangs at iteration 2, heartbeats notice, and
+/// restart recovery rewinds to the iteration-1 sealed generation.
+Configuration wedgeAtIterTwo() {
+  Configuration conf;
+  conf.fault.wedge_step = 2;
+  conf.fault.wedge_rank = 1;
+  conf.fault.drain_deadline_ms = 3000.0;
+  conf.checkpoint_every = 2;  // generations sealed after iterations 1, 3
+  conf.recovery_mode = RecoveryMode::kRestart;
+  return conf;
+}
+
+rts::TransportConfig heartbeats(double interval_ms, int misses = 3) {
+  rts::TransportConfig t;
+  t.heartbeat_interval_ms = interval_ms;
+  t.miss_threshold = misses;
+  return t;
+}
+
+// --- in-process liveness ---------------------------------------------------
+
+TEST(InProcLiveness, WedgedRankIsDetectedByHeartbeatsAndRecoversBitwise) {
+  const RunResult clean = runGravity(Configuration{});
+  Observability ob;
+  const RunResult wedged =
+      runGravity(wedgeAtIterTwo(), heartbeats(25.0), ob.handle());
+
+  // The wedge parked rank 1's scheduling; the logical heartbeat monitor
+  // missed enough round-trips to promote it to a crash, and restart
+  // recovery rewound to the iteration-1 checkpoint: extra traversals,
+  // then physics matches the fault-free run bitwise.
+  EXPECT_EQ(clean.traversal_calls, 6);
+  EXPECT_GT(wedged.traversal_calls, 6);
+  EXPECT_EQ(wedged.crashes, 1u);
+  EXPECT_GT(ob.handle().metrics->counter("rts.heartbeat.missed").value(), 0u);
+  EXPECT_EQ(ob.handle().metrics->counter("rts.recoveries.restart").value(),
+            1u);
+  expectBitwiseEqual(clean.particles, wedged.particles);
+
+  // The wedge and the missed heartbeats also left fault-category spans.
+  bool saw_wedge = false;
+  bool saw_missed = false;
+  for (const auto& ev : ob.handle().trace->snapshot()) {
+    if (std::string_view(ev.name) == "rts.wedge") saw_wedge = true;
+    if (std::string_view(ev.name) == "rts.heartbeat.missed") saw_missed = true;
+  }
+  EXPECT_TRUE(saw_wedge);
+  EXPECT_TRUE(saw_missed);
+}
+
+TEST(InProcLiveness, CorruptFramesAreHealedByRetransmitBitwise) {
+  const RunResult clean = runGravity(Configuration{});
+  Configuration conf;
+  conf.fault.enabled = true;
+  conf.fault.seed = 20260808ull;
+  conf.fault.corrupt_p = 0.1;
+  conf.fault.drain_deadline_ms = 60000.0;
+  Observability ob;
+  const RunResult corrupted = runGravity(conf, {}, ob.handle());
+  EXPECT_EQ(corrupted.traversal_calls, 6);
+  // Corruption fired and the metrics saw it, yet retransmission healed
+  // every discarded copy: not one bit of physics changed.
+  EXPECT_GT(ob.handle().metrics->counter("rts.frames_corrupt").value(), 0u);
+  expectBitwiseEqual(clean.particles, corrupted.particles);
+}
+
+// --- recovery policy -------------------------------------------------------
+
+TEST(RecoveryPolicySuite, CrashLoopEscalatesRestartToShrink) {
+  // max_restarts_per_rank = 0: the very first restart request already
+  // exceeds the rank's budget, so the Driver escalates to shrink — the
+  // dead rank stays out and the run completes on the survivor.
+  const RunResult clean = runGravity(Configuration{});
+  Configuration conf;
+  conf.fault.crash_step = 2;
+  conf.fault.crash_rank = 1;
+  conf.fault.drain_deadline_ms = 3000.0;
+  conf.checkpoint_every = 2;
+  conf.recovery_mode = RecoveryMode::kRestart;
+  conf.recovery.max_restarts_per_rank = 0;
+  Observability ob;
+  const RunResult crashed = runGravity(conf, {}, ob.handle());
+
+  EXPECT_GT(crashed.traversal_calls, 6);
+  EXPECT_EQ(crashed.crashes, 1u);
+  EXPECT_EQ(ob.handle().metrics->counter("rts.recoveries.escalated").value(),
+            1u);
+  EXPECT_EQ(ob.handle().metrics->counter("rts.recoveries.shrink").value(),
+            1u);
+  EXPECT_EQ(ob.handle().metrics->counter("rts.recoveries.restart").value(),
+            0u);
+  // Shrink recovery: same physics to accumulation-order round-off.
+  expectEqualWithin(clean.particles, crashed.particles, 1e-12);
+
+  bool saw_escalation = false;
+  for (const auto& ev : ob.handle().trace->snapshot()) {
+    if (std::string_view(ev.name) == "recovery.escalated") {
+      saw_escalation = true;
+    }
+  }
+  EXPECT_TRUE(saw_escalation);
+}
+
+TEST(RecoveryPolicySuite, ExhaustedGlobalBudgetThrowsLoudly) {
+  Configuration conf;
+  conf.fault.crash_step = 2;
+  conf.fault.crash_rank = 1;
+  conf.fault.drain_deadline_ms = 3000.0;
+  conf.checkpoint_every = 2;
+  conf.recovery.max_recoveries = 0;  // recovery itself is forbidden
+  try {
+    runGravity(conf);
+    FAIL() << "run completed despite a crash with max_recoveries = 0";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recovery budget exhausted"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("max_recoveries"), std::string::npos) << what;
+  }
+}
+
+TEST(RecoveryPolicySuite, BackoffDelaysButDoesNotChangeTheResult) {
+  const RunResult clean = runGravity(Configuration{});
+  Configuration conf;
+  conf.fault.crash_step = 2;
+  conf.fault.crash_rank = 1;
+  conf.fault.drain_deadline_ms = 3000.0;
+  conf.checkpoint_every = 2;
+  conf.recovery_mode = RecoveryMode::kRestart;
+  conf.recovery.restart_backoff_ms = 50.0;  // small but real pause
+  const RunResult crashed = runGravity(conf);
+  EXPECT_GT(crashed.traversal_calls, 6);
+  EXPECT_EQ(crashed.crashes, 1u);
+  expectBitwiseEqual(clean.particles, crashed.particles);
+}
+
+// --- tcp liveness ----------------------------------------------------------
+
+rts::TransportConfig tcpHeartbeats(double interval_ms, int misses = 3) {
+  rts::TransportConfig t = heartbeats(interval_ms, misses);
+  t.kind = rts::TransportKind::kTcp;
+  return t;
+}
+
+TEST(TcpLiveness, SigstoppedRankIsDetectedByHeartbeatsAndRecoversBitwise) {
+  SKIP_UNDER_TSAN();
+  const RunResult clean = runGravity(Configuration{});
+  Configuration conf = wedgeAtIterTwo();
+  conf.fault.drain_deadline_ms = 4000.0;
+  Observability ob;
+  const RunResult wedged =
+      runGravity(conf, tcpHeartbeats(50.0), ob.handle());
+
+  // The wedge SIGSTOPped rank 1's OS process: its socket stayed open, no
+  // EOF ever arrived, and only the missed heartbeat pongs gave it away.
+  // Past the miss threshold the transport SIGKILLed the child, the EOF
+  // funneled into markCrashed, and checkpoint recovery re-ran the lost
+  // iterations — physics bitwise-equal to the fault-free run.
+  EXPECT_EQ(clean.traversal_calls, 6);
+  EXPECT_GT(wedged.traversal_calls, 6);
+  EXPECT_EQ(wedged.crashes, 1u);
+  EXPECT_GT(ob.handle().metrics->counter("rts.heartbeat.missed").value(), 0u);
+  expectBitwiseEqual(clean.particles, wedged.particles);
+}
+
+TEST(TcpLiveness, SeededFrameCorruptionIsHealedByRetransmitBitwise) {
+  SKIP_UNDER_TSAN();
+  const RunResult clean = runGravity(Configuration{});
+  Configuration conf;
+  conf.fault.enabled = true;
+  conf.fault.seed = 20260808ull;
+  conf.fault.corrupt_p = 0.05;
+  conf.fault.drain_deadline_ms = 60000.0;
+  rts::TransportConfig t;
+  t.kind = rts::TransportKind::kTcp;
+  const RunResult corrupted = runGravity(conf, t);
+
+  // Real frames had payload bits flipped on the wire; the rank processes'
+  // CRC checks nacked them, the reliable layer retransmitted, and the
+  // physics is still bitwise the fault-free run.
+  EXPECT_EQ(corrupted.traversal_calls, 6);
+  EXPECT_GT(corrupted.frames_corrupt, 0u);
+  expectBitwiseEqual(clean.particles, corrupted.particles);
+}
+
+}  // namespace
+}  // namespace paratreet

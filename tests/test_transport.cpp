@@ -91,6 +91,29 @@ TEST(FrameCodec, RoundTripPreservesHeaderAndPayload) {
                            payload.data(), payload.size()));
 }
 
+TEST(FrameCodec, EncodeStampsACrcThatCoversHeaderAndPayload) {
+  std::vector<std::byte> payload(64, std::byte{0x11});
+  const auto wire =
+      rts::encodeFrame(sampleHeader(64), payload.data(), payload.size());
+  const auto h = rts::decodeFrameHeader(wire.data(), wire.size(), 1u << 20);
+  EXPECT_NE(h.crc32c, 0u);
+  EXPECT_TRUE(rts::frameCrcValid(h, wire.data() + sizeof(rts::FrameHeader),
+                                 payload.size()));
+
+  // One flipped payload bit breaks the checksum.
+  auto flipped = wire;
+  flipped[sizeof(rts::FrameHeader) + 17] ^= std::byte{0x04};
+  EXPECT_FALSE(rts::frameCrcValid(
+      h, flipped.data() + sizeof(rts::FrameHeader), payload.size()));
+
+  // So does tampering with a header field the framing checks can't see
+  // (seq): the CRC covers the metadata end-to-end, not just the payload.
+  rts::FrameHeader tampered = h;
+  tampered.seq ^= 1;
+  EXPECT_FALSE(rts::frameCrcValid(
+      tampered, wire.data() + sizeof(rts::FrameHeader), payload.size()));
+}
+
 TEST(FrameCodec, EncodeRejectsPayloadLengthMismatch) {
   std::vector<std::byte> payload(8);
   EXPECT_THROW(rts::encodeFrame(sampleHeader(16), payload.data(),
@@ -302,8 +325,9 @@ rts::TransportConfig tcpConfig() {
   return t;
 }
 
-/// The chaos suite's seeded mixed schedule of drops, duplicates, delays
-/// and reorders — liveness-preserving under reliable delivery.
+/// The chaos suite's seeded mixed schedule of drops, duplicates, delays,
+/// reorders and frame corruption — liveness-preserving under reliable
+/// delivery (a corrupted frame is CRC-nacked and retransmitted).
 rts::FaultConfig mixedSchedule(std::uint64_t seed) {
   rts::FaultConfig f;
   f.enabled = true;
@@ -314,6 +338,7 @@ rts::FaultConfig mixedSchedule(std::uint64_t seed) {
   f.delay_min_us = 20.0;
   f.delay_max_us = 300.0;
   f.reorder_p = 0.15;
+  f.corrupt_p = 0.05;
   f.drain_deadline_ms = 60000.0;
   return f;
 }
@@ -419,14 +444,18 @@ TEST(Tcp, ReliableLayerDeliversExactlyOnceOverTheWire) {
   }
   rt.drain();
 
-  // Drops force retransmits and duplicates force dedup, yet each payload
-  // ran exactly once.
+  // Drops force retransmits, duplicates force dedup, and CRC-nacked
+  // corrupt frames force retransmits too — yet each payload ran exactly
+  // once.
   EXPECT_EQ(delivered.load(), 100);
   auto& tcp = dynamic_cast<rts::TcpTransport&>(rt.transport());
   // Physical traffic exceeds the logical count: surviving copies,
   // retransmissions, injected duplicates and acks all crossed the wire.
   EXPECT_GT(tcp.framesSent(), 100u);
-  EXPECT_EQ(tcp.framesSent(), tcp.framesDelivered());
+  // Corrupt-nacked frames were sent but never delivered; every other
+  // frame got its receipt back. Nothing is unaccounted for.
+  EXPECT_GT(tcp.framesCorrupt(), 0u);
+  EXPECT_EQ(tcp.framesSent(), tcp.framesDelivered() + tcp.framesCorrupt());
 }
 
 TEST(Tcp, ChaosScheduleStillProducesFaultFreePhysics) {
