@@ -56,6 +56,7 @@ struct PairwiseGravityVisitor {
 
 struct ListSet {
   std::vector<Node<CentroidData>*> buckets;
+  InteractionArena<CentroidData> arena;
   std::vector<InteractionList<CentroidData>> lists;
   std::uint64_t pp = 0;  ///< particle-particle interactions recorded
   std::uint64_t pn = 0;  ///< particle-node interactions recorded
@@ -69,12 +70,12 @@ void recordWalk(Node<CentroidData>* node, Node<CentroidData>* bucket,
   SpatialNode<CentroidData> tgt(bucket->data, bucket->box, bucket->key,
                                 bucket->n_particles, bucket->particles);
   if (!v.open(src, tgt)) {
-    list.addNode(*node);
+    list.addNode(set.arena.intern(*node));
     set.pn += static_cast<std::uint64_t>(bucket->n_particles);
     return;
   }
   if (node->leaf()) {
-    list.addLeaf(*node);
+    list.addLeaf(set.arena.intern(*node), node->n_particles);
     set.pp += static_cast<std::uint64_t>(node->n_particles) *
               static_cast<std::uint64_t>(bucket->n_particles);
     return;
@@ -110,25 +111,42 @@ void zeroResults(ListSet& set) {
   }
 }
 
+/// Minimal bucket adapter so BatchScratch::prepareTargets (which reads
+/// buckets[b].particles.size()) works on raw tree leaves.
+struct BucketSpan {
+  std::span<Particle> particles;
+};
+
 /// Drain every bucket's lists through `eval` once; returns wall seconds.
 template <typename Visitor>
-double drainOnce(ListSet& set, const Visitor& visitor, BatchScratch<CentroidData>& scratch) {
-  BatchEvaluator<CentroidData, Visitor> eval(visitor, scratch);
+double drainOnce(ListSet& set, const Visitor& visitor,
+                 BatchScratch<CentroidData>& scratch) {
+  BatchEvaluator<CentroidData, Visitor> eval(visitor, scratch, set.arena);
   WallTimer timer;
   for (std::size_t b = 0; b < set.buckets.size(); ++b) {
     Node<CentroidData>* bucket = set.buckets[b];
     eval.evaluate(set.lists[b],
                   SpatialNode<CentroidData>(bucket->data, bucket->box,
                                             bucket->key, bucket->n_particles,
-                                            bucket->particles));
+                                            bucket->particles),
+                  static_cast<std::uint32_t>(b));
   }
   return timer.seconds();
 }
 
-/// Best-of-`reps` drain time (seconds) for one visitor type.
+/// Best-of-`reps` drain time (seconds) for one visitor type. The pools
+/// and target gathers stay warm across reps — the steady state the
+/// persistent-gather design targets.
 template <typename Visitor>
 double bestDrain(ListSet& set, const Visitor& visitor, int reps) {
   BatchScratch<CentroidData> scratch;
+  std::vector<BucketSpan> spans;
+  spans.reserve(set.buckets.size());
+  for (Node<CentroidData>* bucket : set.buckets) {
+    spans.push_back(BucketSpan{std::span<Particle>(
+        bucket->particles, static_cast<std::size_t>(bucket->n_particles))});
+  }
+  scratch.prepareTargets(spans, /*epoch=*/1);
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < reps; ++r) {
     zeroResults(set);
@@ -167,9 +185,22 @@ CaseResult runCase(const char* name, std::vector<Particle>& ps,
   return r;
 }
 
+/// One end-to-end traversal measurement: best-iteration traverse seconds
+/// plus (batched kernel only) that iteration's record/overlap/straggler
+/// drain breakdown from the metrics registry.
+struct E2eResult {
+  double traverse_s = 0.0;
+  double record_s = 0.0;       ///< walk-side list recording
+  double overlap_s = 0.0;      ///< drain work overlapped with the walk
+  double finish_drain_s = 0.0; ///< straggler drain after quiescence
+  std::uint64_t sealed_early = 0;
+  std::uint64_t sealed_total = 0;
+};
+
 /// End-to-end traversal seconds through the Forest for one kernel choice
 /// (1 proc so the number is pure compute + traversal, no modeled comm).
-double endToEndTraverse(std::size_t n, EvalKernel kernel, int iterations) {
+E2eResult endToEndTraverse(std::size_t n, EvalKernel kernel, int iterations,
+                           double theta) {
   rts::Runtime::Config rc{1, 1, {}};
   rts::Runtime rt(rc);
   Configuration conf;
@@ -181,24 +212,50 @@ double endToEndTraverse(std::size_t n, EvalKernel kernel, int iterations) {
   GravityParams params;
   params.use_quadrupole = false;
   params.softening = 1e-3;
-  Forest<CentroidData, OctTreeType> forest(rt, conf);
+  params.theta = theta;
+  Observability ob;
+  Forest<CentroidData, OctTreeType> forest(rt, conf, ob.handle());
   forest.load(makeParticles(uniformCube(n, 7)));
   forest.decompose();
-  double best = std::numeric_limits<double>::infinity();
+  E2eResult best;
+  best.traverse_s = std::numeric_limits<double>::infinity();
+  auto gauge = [&](const char* name) { return ob.metrics.gauge(name).value(); };
   for (int it = 0; it < iterations; ++it) {
     forest.build();
     forest.resetPhaseTimes();
+    const double rec0 = gauge("kernel.record_seconds");
+    const double ovl0 = gauge("kernel.overlap_seconds");
+    const double fin0 = gauge("kernel.finish_drain_seconds");
+    const std::uint64_t se0 = ob.metrics.counter("kernel.sealed_early").value();
+    const std::uint64_t st0 = ob.metrics.counter("kernel.sealed_total").value();
     forest.traverse<GravityVisitor>(GravityVisitor{params},
                                     TraversalStyle::kTransposed, kernel);
-    best = std::min(best, forest.phaseTimes().traverse);
+    const double traverse_s = forest.phaseTimes().traverse;
+    if (traverse_s < best.traverse_s) {
+      best.traverse_s = traverse_s;
+      best.record_s = gauge("kernel.record_seconds") - rec0;
+      best.overlap_s = gauge("kernel.overlap_seconds") - ovl0;
+      best.finish_drain_s = gauge("kernel.finish_drain_seconds") - fin0;
+      best.sealed_early =
+          ob.metrics.counter("kernel.sealed_early").value() - se0;
+      best.sealed_total =
+          ob.metrics.counter("kernel.sealed_total").value() - st0;
+    }
     forest.flush();
   }
   return best;
 }
 
+struct E2eCase {
+  double theta = 0.0;
+  E2eResult visitor;
+  E2eResult batched;
+  double speedup() const { return visitor.traverse_s / batched.traverse_s; }
+};
+
 void writeJson(const std::string& path, std::size_t n, int bucket_size,
-               const std::vector<CaseResult>& cases, double e2e_visitor,
-               double e2e_batched) {
+               const std::vector<CaseResult>& cases,
+               const std::vector<E2eCase>& e2e, const E2eCase& headline) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     throw std::runtime_error("cannot open for writing: " + path);
@@ -218,10 +275,27 @@ void writeJson(const std::string& path, std::size_t n, int bucket_size,
         c.visitorGpairs(), c.batchedGpairs(), c.speedup(),
         i + 1 < cases.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"end_to_end_sweep\": [\n");
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    const E2eCase& c = e2e[i];
+    std::fprintf(
+        f,
+        "    {\"theta\": %g, \"visitor_traverse_s\": %.6f, "
+        "\"batched_traverse_s\": %.6f, \"speedup\": %.3f, "
+        "\"batched_record_s\": %.6f, \"batched_overlap_s\": %.6f, "
+        "\"batched_finish_drain_s\": %.6f, \"sealed_early\": %llu, "
+        "\"sealed_total\": %llu}%s\n",
+        c.theta, c.visitor.traverse_s, c.batched.traverse_s, c.speedup(),
+        c.batched.record_s, c.batched.overlap_s, c.batched.finish_drain_s,
+        static_cast<unsigned long long>(c.batched.sealed_early),
+        static_cast<unsigned long long>(c.batched.sealed_total),
+        i + 1 < e2e.size() ? "," : "");
+  }
   std::fprintf(f,
                "  ],\n  \"end_to_end\": {\"visitor_traverse_s\": %.6f, "
                "\"batched_traverse_s\": %.6f, \"speedup\": %.3f}\n}\n",
-               e2e_visitor, e2e_batched, e2e_visitor / e2e_batched);
+               headline.visitor.traverse_s, headline.batched.traverse_s,
+               headline.speedup());
   std::fclose(f);
 }
 
@@ -251,9 +325,12 @@ int main(int argc, char** argv) {
                                        opts);
 
   std::vector<CaseResult> cases;
-  // theta -> 0 opens every node: pure particle-particle lists.
+  // theta -> 0 opens every node: pure particle-particle lists. The theta
+  // sweep moves the mix towards node-approximation work.
   cases.push_back(runCase("direct_sum", ps, root, 1e-6, reps));
+  cases.push_back(runCase("bh_theta05", ps, root, 0.5, reps));
   cases.push_back(runCase("bh_theta07", ps, root, 0.7, reps));
+  cases.push_back(runCase("bh_theta10", ps, root, 1.0, reps));
 
   std::printf("%-12s %8s %14s %14s %16s %16s %9s\n", "case", "theta",
               "pp pairs", "pn pairs", "visitor Gpair/s", "batched Gpair/s",
@@ -267,13 +344,27 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t e2e_n = std::min<std::size_t>(n, 20000);
-  const double e2e_visitor = endToEndTraverse(e2e_n, EvalKernel::kVisitor, 2);
-  const double e2e_batched = endToEndTraverse(e2e_n, EvalKernel::kBatched, 2);
-  std::printf("\nend-to-end traverse (n=%zu, theta=0.7): visitor %.4fs, "
-              "batched %.4fs (%.2fx)\n",
-              e2e_n, e2e_visitor, e2e_batched, e2e_visitor / e2e_batched);
+  const double e2e_thetas[] = {0.5, 0.7, 1.0};
+  std::vector<E2eCase> e2e;
+  std::printf("\nend-to-end traverse (n=%zu):\n", e2e_n);
+  for (const double theta : e2e_thetas) {
+    E2eCase c;
+    c.theta = theta;
+    c.visitor = endToEndTraverse(e2e_n, EvalKernel::kVisitor, 2, theta);
+    c.batched = endToEndTraverse(e2e_n, EvalKernel::kBatched, 2, theta);
+    std::printf("  theta=%.1f: visitor %.4fs, batched %.4fs (%.2fx)  "
+                "[record %.4fs, overlap %.4fs, straggler drain %.4fs, "
+                "%llu/%llu buckets sealed early]\n",
+                theta, c.visitor.traverse_s, c.batched.traverse_s, c.speedup(),
+                c.batched.record_s, c.batched.overlap_s,
+                c.batched.finish_drain_s,
+                static_cast<unsigned long long>(c.batched.sealed_early),
+                static_cast<unsigned long long>(c.batched.sealed_total));
+    e2e.push_back(c);
+  }
+  const E2eCase& headline = e2e[1];  // theta = 0.7, the comparison anchor
 
-  writeJson(out, n, bucket_size, cases, e2e_visitor, e2e_batched);
+  writeJson(out, n, bucket_size, cases, e2e, headline);
   std::printf("results written to %s\n", out.c_str());
   return 0;
 }

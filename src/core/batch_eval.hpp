@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "core/interaction_list.hpp"
 #include "tree/node.hpp"
@@ -69,8 +70,11 @@ constexpr double flopsPerNodeInteraction() {
 }
 
 /// Drains per-bucket interaction lists. One evaluator serves one
-/// Partition's buckets in sequence (it borrows the Partition's
-/// BatchScratch); construction is free, all storage is in the scratch.
+/// Partition's buckets (in any order — sealed buckets may drain while
+/// other buckets are still walking); it borrows the Partition's
+/// BatchScratch and resolves list entries through the Partition's
+/// InteractionArena. The caller serializes access via the Partition's
+/// run_mutex.
 template <typename Data, typename Visitor>
 class BatchEvaluator {
  public:
@@ -80,12 +84,15 @@ class BatchEvaluator {
     double replay_seconds = 0.0;  ///< interleaved bitwise replay (no hooks)
   };
 
-  BatchEvaluator(const Visitor& visitor, BatchScratch<Data>& scratch)
-      : visitor_(visitor), scratch_(scratch) {}
+  BatchEvaluator(const Visitor& visitor, BatchScratch<Data>& scratch,
+                 const InteractionArena<Data>& arena)
+      : visitor_(visitor), scratch_(scratch), arena_(arena) {}
 
-  /// Apply one bucket's recorded interactions to its particles. Does not
-  /// clear the list (the caller owns its lifetime).
-  void evaluate(const InteractionList<Data>& list, SpatialNode<Data> target) {
+  /// Apply bucket `b`'s recorded interactions to its particles. Does not
+  /// clear the list (the caller owns its lifetime). Requires
+  /// scratch_.prepareTargets() to have laid out bucket b's target slice.
+  void evaluate(const InteractionList<Data>& list, SpatialNode<Data> target,
+                std::uint32_t b) {
     if (list.empty() || target.n_particles == 0) return;
     constexpr bool node_hook = HasNodeBatch<Visitor, Data>;
     constexpr bool leaf_hook = HasLeafBatch<Visitor, Data>;
@@ -93,28 +100,28 @@ class BatchEvaluator {
       // No batch kernels: replay the callbacks in recorded order, which
       // reproduces the inline visitor path bitwise.
       WallTimer timer;
-      list.forEachRecorded([&](bool is_leaf, std::size_t i) {
+      list.forEachRecorded(arena_, [&](bool is_leaf, const Node<Data>& node) {
         if (is_leaf) {
-          visitor_.leaf(SpatialNode<Data>::of(*list.leaves()[i]), target);
+          visitor_.leaf(SpatialNode<Data>::of(node), target);
         } else {
-          visitor_.node(SpatialNode<Data>::of(*list.nodes()[i]), target);
+          visitor_.node(SpatialNode<Data>::of(node), target);
         }
       });
       totals_.replay_seconds += timer.seconds();
       return;
     }
-    const SoaTargets tgt = gatherTargets(target);
+    const SoaTargets tgt = gatherTargets(target, b);
     {
       WallTimer timer;
       if constexpr (node_hook) {
-        if (!list.nodes().empty()) {
+        if (list.nodeCount() > 0) {
           const int n = gatherNodes(list);
           visitor_.nodeBatch(scratch_.node_data.data(), n, target, tgt);
         }
       } else {
-        for (const Node<Data>* node : list.nodes()) {
-          visitor_.node(SpatialNode<Data>::of(*node), target);
-        }
+        list.forEachRecorded(arena_, [&](bool is_leaf, const Node<Data>& node) {
+          if (!is_leaf) visitor_.node(SpatialNode<Data>::of(node), target);
+        });
       }
       totals_.node_seconds += timer.seconds();
     }
@@ -125,9 +132,9 @@ class BatchEvaluator {
           visitor_.leafBatch(gatherSources(list), target, tgt);
         }
       } else {
-        for (const Node<Data>* leaf : list.leaves()) {
-          visitor_.leaf(SpatialNode<Data>::of(*leaf), target);
-        }
+        list.forEachRecorded(arena_, [&](bool is_leaf, const Node<Data>& node) {
+          if (is_leaf) visitor_.leaf(SpatialNode<Data>::of(node), target);
+        });
       }
       totals_.leaf_seconds += timer.seconds();
     }
@@ -136,63 +143,126 @@ class BatchEvaluator {
   const Totals& totals() const { return totals_; }
 
  private:
-  /// Gather the bucket's particle positions/orders into contiguous arrays
-  /// (index-aligned with the target view); one gather serves both phases.
-  SoaTargets gatherTargets(SpatialNode<Data>& target) {
+  /// Bucket b's slice of the per-build persistent target gather,
+  /// populated on first touch this build and reused by every later drain
+  /// (positions don't move between builds).
+  SoaTargets gatherTargets(SpatialNode<Data>& target, std::uint32_t b) {
+    const std::size_t off = scratch_.target_offset[b];
     const auto n = static_cast<std::size_t>(target.n_particles);
-    scratch_.tx.resize(n);
-    scratch_.ty.resize(n);
-    scratch_.tz.resize(n);
-    scratch_.torder.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const Particle& p = target.particle(static_cast<int>(i));
-      scratch_.tx[i] = p.position.x;
-      scratch_.ty[i] = p.position.y;
-      scratch_.tz[i] = p.position.z;
-      scratch_.torder[i] = static_cast<double>(p.order);
+    if (!scratch_.target_ready[b]) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Particle& p = target.particle(static_cast<int>(i));
+        scratch_.tx[off + i] = p.position.x;
+        scratch_.ty[off + i] = p.position.y;
+        scratch_.tz[off + i] = p.position.z;
+        scratch_.torder[off + i] = static_cast<double>(p.order);
+      }
+      scratch_.target_ready[b] = 1;
     }
-    return SoaTargets{scratch_.tx.data(), scratch_.ty.data(),
-                      scratch_.tz.data(), scratch_.torder.data(),
+    return SoaTargets{scratch_.tx.data() + off, scratch_.ty.data() + off,
+                      scratch_.tz.data() + off, scratch_.torder.data() + off,
                       target.n_particles};
   }
 
   /// Copy the bucket's pruned-node summaries into one contiguous run (the
-  /// form nodeBatch streams). Bulk sequential writes into a warm buffer.
+  /// form nodeBatch streams). Each distinct summary is pulled out of its
+  /// ~250-byte-stride Node once per traversal into the compact pool;
+  /// repeat references (the same node pruned against many buckets) read
+  /// the pool instead of re-touching scattered tree/cache storage.
   int gatherNodes(const InteractionList<Data>& list) {
-    const std::size_t n = list.nodes().size();
-    scratch_.node_data.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      scratch_.node_data[i] = list.nodes()[i]->data;
+    scratch_.node_data.resize(list.nodeCount());
+    if (scratch_.node_slot.size() < arena_.size()) {
+      scratch_.node_slot.resize(arena_.size(), -1);
     }
-    return static_cast<int>(n);
+    std::size_t i = 0;
+    for (const std::uint32_t tag : list.items()) {
+      if ((tag & 1u) != 0) continue;
+      const std::uint32_t slot = tag >> 1;
+      std::int32_t s = scratch_.node_slot[slot];
+      if (s < 0) {
+        s = static_cast<std::int32_t>(scratch_.node_pool.size());
+        scratch_.node_pool.push_back(arena_.at(slot)->data);
+        scratch_.node_slot[slot] = s;
+      }
+      scratch_.node_data[i++] = scratch_.node_pool[static_cast<std::size_t>(s)];
+    }
+    return static_cast<int>(i);
   }
 
-  /// Concatenate every direct-list span into the SoA source arrays.
+  /// Concatenate every direct-list span into the SoA source arrays. Each
+  /// distinct leaf is converted AoS->SoA once per traversal (ensureSpan);
+  /// per-bucket gathers are then five bulk memcpys per span instead of a
+  /// strided walk over the ~150-byte Particle records. A single-span list
+  /// skips the concatenation and hands out pool pointers directly.
   SoaSources gatherSources(const InteractionList<Data>& list) {
     const std::size_t n = list.directSources();
+    if (scratch_.source_offset.size() < arena_.size()) {
+      scratch_.source_offset.resize(arena_.size(), -1);
+    }
+    if (list.leafCount() == 1) {
+      for (const std::uint32_t tag : list.items()) {
+        if ((tag & 1u) == 0) continue;
+        const auto off = static_cast<std::size_t>(ensureSpan(tag >> 1));
+        return SoaSources{scratch_.px.data() + off, scratch_.py.data() + off,
+                          scratch_.pz.data() + off, scratch_.pm.data() + off,
+                          scratch_.porder.data() + off, static_cast<int>(n)};
+      }
+    }
     scratch_.sx.resize(n);
     scratch_.sy.resize(n);
     scratch_.sz.resize(n);
     scratch_.sm.resize(n);
     scratch_.sorder.resize(n);
     std::size_t at = 0;
-    for (const Node<Data>* leaf : list.leaves()) {
-      for (int j = 0; j < leaf->n_particles; ++j, ++at) {
-        const Particle& p = leaf->particles[j];
-        scratch_.sx[at] = p.position.x;
-        scratch_.sy[at] = p.position.y;
-        scratch_.sz[at] = p.position.z;
-        scratch_.sm[at] = p.mass;
-        scratch_.sorder[at] = static_cast<double>(p.order);
-      }
+    for (const std::uint32_t tag : list.items()) {
+      if ((tag & 1u) == 0) continue;
+      const std::uint32_t slot = tag >> 1;
+      const auto off = static_cast<std::size_t>(ensureSpan(slot));
+      const auto m = static_cast<std::size_t>(arena_.at(slot)->n_particles);
+      const std::size_t bytes = m * sizeof(double);
+      std::memcpy(scratch_.sx.data() + at, scratch_.px.data() + off, bytes);
+      std::memcpy(scratch_.sy.data() + at, scratch_.py.data() + off, bytes);
+      std::memcpy(scratch_.sz.data() + at, scratch_.pz.data() + off, bytes);
+      std::memcpy(scratch_.sm.data() + at, scratch_.pm.data() + off, bytes);
+      std::memcpy(scratch_.sorder.data() + at, scratch_.porder.data() + off,
+                  bytes);
+      at += m;
     }
     return SoaSources{scratch_.sx.data(), scratch_.sy.data(),
                       scratch_.sz.data(), scratch_.sm.data(),
                       scratch_.sorder.data(), static_cast<int>(n)};
   }
 
+  /// Offset of arena slot's leaf span in the source pool, converting the
+  /// leaf's particles on first touch.
+  std::int64_t ensureSpan(std::uint32_t slot) {
+    std::int64_t off = scratch_.source_offset[slot];
+    if (off >= 0) return off;
+    const Node<Data>* leaf = arena_.at(slot);
+    off = static_cast<std::int64_t>(scratch_.px.size());
+    const auto m = static_cast<std::size_t>(leaf->n_particles);
+    const auto end = static_cast<std::size_t>(off) + m;
+    scratch_.px.resize(end);
+    scratch_.py.resize(end);
+    scratch_.pz.resize(end);
+    scratch_.pm.resize(end);
+    scratch_.porder.resize(end);
+    for (std::size_t j = 0; j < m; ++j) {
+      const Particle& p = leaf->particles[j];
+      const std::size_t k = static_cast<std::size_t>(off) + j;
+      scratch_.px[k] = p.position.x;
+      scratch_.py[k] = p.position.y;
+      scratch_.pz[k] = p.position.z;
+      scratch_.pm[k] = p.mass;
+      scratch_.porder[k] = static_cast<double>(p.order);
+    }
+    scratch_.source_offset[slot] = off;
+    return off;
+  }
+
   const Visitor& visitor_;
   BatchScratch<Data>& scratch_;
+  const InteractionArena<Data>& arena_;
   Totals totals_{};
 };
 

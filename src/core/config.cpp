@@ -55,6 +55,21 @@ bool fromString(const std::string& s, LbScheme& out) {
   return true;
 }
 
+std::string toString(BatchDrain d) {
+  switch (d) {
+    case BatchDrain::kOverlap: return "overlap";
+    case BatchDrain::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+bool fromString(const std::string& s, BatchDrain& out) {
+  if (s == "overlap") out = BatchDrain::kOverlap;
+  else if (s == "barrier") out = BatchDrain::kBarrier;
+  else return false;
+  return true;
+}
+
 std::string toString(RecoveryMode m) {
   switch (m) {
     case RecoveryMode::kRestart: return "restart";

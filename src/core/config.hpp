@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/interaction_list.hpp"
 #include "decomp/decomposition.hpp"
 #include "rts/fault.hpp"
 #include "rts/transport.hpp"
@@ -41,6 +42,11 @@ enum class LbScheme {
 
 std::string toString(LbScheme s);
 bool fromString(const std::string& s, LbScheme& out);
+
+/// Spellings for core/interaction_list.hpp's BatchDrain ("overlap" /
+/// "barrier").
+std::string toString(BatchDrain d);
+bool fromString(const std::string& s, BatchDrain& out);
 
 /// What the Driver does with a crashed rank after restoring the last
 /// checkpoint (README "Checkpoint / recovery").
@@ -119,6 +125,12 @@ struct Configuration {
   /// process along with the branch nodes.
   int share_levels = 0;
   CacheModel cache_model = CacheModel::kWaitFree;
+  /// How EvalKernel::kBatched drains sealed interaction lists: kOverlap
+  /// (dataflow — buckets drain as their walks retire, overlapping kernel
+  /// work with the remaining walk) or kBarrier (the bulk-synchronous
+  /// record-everything-then-drain reference). Per-bucket evaluation is
+  /// identical in both modes.
+  BatchDrain batch_drain = BatchDrain::kOverlap;
   /// Iterations between load-rebalance steps (0 = never); the Driver
   /// rebalances with `lb_scheme` after every lb_period-th traversal.
   int lb_period = 0;

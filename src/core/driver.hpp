@@ -300,7 +300,10 @@ class Driver {
     forest_->checkpointTo(store, step, from_subtrees);
     store.seal(step);
     if (!conf.checkpoint_dir.empty()) {
-      writeCheckpointSnapshot(store, conf.checkpoint_dir, step);
+      // Convert on the worker runtime, overlapped with the disk writes
+      // (saveSnapshot's chunked double-buffering).
+      RuntimeParallelFor par(forest_->runtime(), forest_->runtime().liveProcs());
+      writeCheckpointSnapshot(store, conf.checkpoint_dir, step, &par);
     }
     if (seconds != nullptr) seconds->add(timer.seconds());
   }
@@ -309,7 +312,8 @@ class Driver {
   /// it as an ordinary util/snapshot file (checkpoint_<step>.snap),
   /// loadable later through conf.input_file.
   static void writeCheckpointSnapshot(const rts::CheckpointStore& store,
-                                      const std::string& dir, int step) {
+                                      const std::string& dir, int step,
+                                      ParallelFor* par = nullptr) {
     std::vector<Particle> all;
     for (const auto& chunk : store.assemble(step)) {
       auto decoded = deserializeCheckpointChunk(chunk);
@@ -328,7 +332,8 @@ class Driver {
       ic.masses[i] = p.mass;
       ic.radii[i] = p.ball_radius;
     }
-    saveSnapshot(dir + "/checkpoint_" + std::to_string(step) + ".snap", ic);
+    saveSnapshot(dir + "/checkpoint_" + std::to_string(step) + ".snap", ic,
+                 par);
   }
 
   std::unique_ptr<Forest<Data, TreeTypeT>> forest_;

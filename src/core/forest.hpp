@@ -194,7 +194,6 @@ class Forest {
     auto regions = subtree_decomp_->regions();
     assert(static_cast<int>(regions.size()) == n_subtrees);
 
-    partitions_.clear();
     bool keep_placement =
         static_cast<int>(placement_override_.size()) == n_parts;
     // A measured-load placement naming a dead rank is stale; fall back to
@@ -202,13 +201,24 @@ class Forest {
     for (const int proc : placement_override_) {
       if (keep_placement && !rt_.rankAlive(proc)) keep_placement = false;
     }
+    // Reuse the Partition objects when the count is stable (the common
+    // steady state): their interaction lists, arena, and batch scratch
+    // keep their warmed-up capacity across iterations instead of being
+    // reallocated every flush()->decompose().
+    if (static_cast<int>(partitions_.size()) != n_parts) {
+      partitions_.clear();
+      partitions_.reserve(static_cast<std::size_t>(n_parts));
+      for (int i = 0; i < n_parts; ++i) {
+        partitions_.push_back(std::make_unique<Partition<Data>>());
+      }
+    }
     for (int i = 0; i < n_parts; ++i) {
-      auto part = std::make_unique<Partition<Data>>();
-      part->index = i;
-      part->home_proc = keep_placement
-                            ? placement_override_[static_cast<std::size_t>(i)]
-                            : placeOf(i, n_parts);
-      partitions_.push_back(std::move(part));
+      auto& part = *partitions_[static_cast<std::size_t>(i)];
+      part.index = i;
+      part.home_proc = keep_placement
+                           ? placement_override_[static_cast<std::size_t>(i)]
+                           : placeOf(i, n_parts);
+      part.clear();
     }
     if (!keep_placement) placement_override_.clear();
     subtrees_.clear();
@@ -244,9 +254,13 @@ class Forest {
     WallTimer timer;
     obs::TraceSpan span(instr_.trace, "build", "phase");
     split_buckets_ = 0;
+    // New build epoch: bucket identities (and hence the persistent target
+    // gathers keyed by the epoch) are invalidated.
+    ++build_epoch_;
     for (auto& pp : partitions_) {
       pp->clear();
       pp->measured_load = 0.0;
+      pp->build_epoch = build_epoch_;
     }
     caches_.clear();
     caches_.resize(static_cast<std::size_t>(rt_.numProcs()));
@@ -354,7 +368,7 @@ class Forest {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<TopDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, style, kernel, instr_);
+          visitor, style, kernel, conf_.batch_drain, instr_);
       auto* raw = trav.get();
       active_traversers_.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
@@ -384,7 +398,7 @@ class Forest {
       Partition<Data>* part = pp.get();
       auto trav = std::make_unique<UpAndDownTraverser<Data, V>>(
           *part, caches_[static_cast<std::size_t>(part->home_proc)], rt_,
-          visitor, kernel, instr_);
+          visitor, kernel, conf_.batch_drain, instr_);
       auto* raw = trav.get();
       active_traversers_.push_back(std::move(trav));
       rt_.enqueue(part->home_proc, [raw] { raw->start(); });
@@ -497,15 +511,28 @@ class Forest {
   }
 
   /// Gather all particles (in input `order`) with their traversal results.
+  /// Runs one task per Partition on its home process — every particle's
+  /// `order` slot is unique, so the writes are disjoint (the same shape as
+  /// flush()'s gather). Partitions whose home rank died since the last
+  /// decomposition gather inline so a post-crash collect still completes.
   std::vector<Particle> collect() const {
     std::vector<Particle> out(particles_.size());
     for (const auto& pp : partitions_) {
-      for (const auto& b : pp->buckets) {
-        for (const auto& p : b.particles) {
-          out[static_cast<std::size_t>(p.order)] = p;
+      const Partition<Data>* part = pp.get();
+      auto gather = [part, &out] {
+        for (const auto& b : part->buckets) {
+          for (const auto& p : b.particles) {
+            out[static_cast<std::size_t>(p.order)] = p;
+          }
         }
+      };
+      if (rt_.rankAlive(part->home_proc)) {
+        rt_.enqueue(part->home_proc, gather);
+      } else {
+        gather();
       }
     }
+    rt_.drain();
     return out;
   }
 
@@ -819,6 +846,9 @@ class Forest {
 
   PhaseTimes times_{};
   std::atomic<std::size_t> split_buckets_{0};
+  /// Monotone tree-build counter; stamped onto every Partition so the
+  /// persistent per-bucket target gathers know when buckets changed.
+  std::uint64_t build_epoch_{0};
   std::vector<int> placement_override_;
   /// Ranks chares may be placed on; refreshed by decompose().
   std::vector<int> live_procs_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -55,18 +56,30 @@ struct Partition {
   /// balancers.
   double measured_load{0.0};
 
-  /// SoA staging arrays for the batched evaluation phase
-  /// (EvalKernel::kBatched). Owned here so the buffers warm up once and
-  /// are reused across buckets and iterations; accessed only under
-  /// run_mutex (the evaluation runs as one chare-style task).
+  /// SoA staging arrays, per-traversal source/summary pools, and the
+  /// per-build persistent target gathers for the batched evaluation
+  /// phase (EvalKernel::kBatched). Owned here so the buffers warm up
+  /// once and are reused across buckets, traversals, and iterations;
+  /// accessed only under run_mutex (drains run as chare-style tasks).
   BatchScratch<Data> batch_scratch;
+
+  /// Node table the interaction lists index into, rebuilt per traversal
+  /// (EvalKernel::kBatched). Touched only under run_mutex.
+  InteractionArena<Data> interaction_arena;
 
   /// Per-bucket interaction lists for EvalKernel::kBatched, index-aligned
   /// with `buckets`. Owned here (not by the per-traversal traverser) so
   /// list capacity survives across iterations; touched only under
-  /// run_mutex and always drained + cleared by the traversal's finish
-  /// phase before the next build invalidates the recorded node pointers.
+  /// run_mutex and always drained + cleared (eagerly as buckets seal, or
+  /// by the traversal's finish phase) before the next build invalidates
+  /// the recorded node pointers.
   std::vector<InteractionList<Data>> interaction_lists;
+
+  /// Forest build epoch the current buckets belong to, stamped by
+  /// Forest::build(); keys the persistent target gathers in
+  /// batch_scratch (a rebuild or recovery bumps the epoch and
+  /// invalidates them).
+  std::uint64_t build_epoch{0};
 
   void addBucket(Bucket<Data> bucket) {
     std::lock_guard lock(intake_mutex);

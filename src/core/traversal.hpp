@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "core/batch_eval.hpp"
 #include "core/cache.hpp"
@@ -29,8 +30,8 @@ namespace paratreet {
 /// them into the traversal loops — the paper's "performance with
 /// generality" technique. Under EvalKernel::kBatched the node()/leaf()
 /// consequences are recorded as per-bucket interaction lists instead and
-/// drained after the walk (optionally through the visitor's batch hooks;
-/// see core/batch_eval.hpp).
+/// drained as buckets seal (or after the walk, BatchDrain::kBarrier),
+/// optionally through the visitor's batch hooks; see core/batch_eval.hpp.
 
 /// Type-erased base so the Driver can keep heterogeneous traversers alive
 /// until the iteration drains.
@@ -38,9 +39,10 @@ class TraverserBase {
  public:
   virtual ~TraverserBase() = default;
 
-  /// Called once per Partition after the walk reaches quiescence. The
-  /// batched evaluation phase lives here; the default is a no-op so
-  /// traversers without a deferred phase need nothing.
+  /// Called once per Partition after the walk reaches quiescence. With
+  /// the overlapped batched drain this only drains stragglers and flushes
+  /// counters; the default is a no-op so traversers without a deferred
+  /// phase need nothing.
   virtual void finish() {}
 };
 
@@ -84,25 +86,66 @@ Node<Data>* findChildByKey(Node<Data>* parent, Key key) {
 }
 
 /// State shared by the single-tree traversers: the interaction-list
-/// recorder, the pp/pn interaction counters, and their flush into the
+/// recorder, the per-bucket seal accounting that drives the overlapped
+/// drain, the pp/pn interaction counters, and their flush into the
 /// metrics registry. Everything here is touched only under the owning
-/// Partition's run_mutex.
+/// Partition's run_mutex (drain tasks take it themselves), so the seal
+/// counters are plain ints.
+///
+/// Seal protocol: prepare() gives every bucket one outstanding unit (its
+/// seed walk). A pause adds one unit per deferred bucket *before* the
+/// pausing walk returns, and every unit (seed or resumed continuation)
+/// retires its buckets when it completes — so a bucket's count hits zero
+/// exactly when its last branch, including every paused-and-resumed
+/// remote subtree, has recorded. Sealed buckets are queued and, in
+/// BatchDrain::kOverlap, drained by a worker task while other buckets
+/// still walk; the task is enqueued before its scheduling unit retires,
+/// so the runtime's quiescence detection waits for it like any walk task.
 template <typename Data, typename Visitor>
 class InteractionRecorder {
  public:
   InteractionRecorder(Partition<Data>& partition, Visitor& visitor,
-                      EvalKernel kernel, Instrumentation instr)
+                      EvalKernel kernel, BatchDrain drain, rts::Runtime& rt,
+                      Instrumentation instr)
       : partition_(partition), visitor_(visitor), kernel_(kernel),
-        instr_(instr) {}
+        drain_(drain), rt_(rt), instr_(instr) {}
 
-  /// Size the per-bucket lists; call once the buckets are known (seed
-  /// task), before any interaction lands. The lists live on the Partition
-  /// so their capacity persists across iterations.
-  void prepare() {
-    if (kernel_ == EvalKernel::kBatched) {
-      partition_.interaction_lists.resize(partition_.buckets.size());
-      for (auto& list : partition_.interaction_lists) list.clear();
+  bool batched() const { return kernel_ == EvalKernel::kBatched; }
+
+  /// Accumulates enclosing-scope wall time into the record phase (the
+  /// walk side of the record/drain breakdown). No-op for kVisitor.
+  class RecordScope {
+   public:
+    explicit RecordScope(InteractionRecorder& r) : r_(r) {}
+    ~RecordScope() {
+      if (r_.batched()) r_.record_seconds_ += timer_.seconds();
     }
+
+   private:
+    InteractionRecorder& r_;
+    WallTimer timer_;
+  };
+
+  /// Reset the per-traversal state; call once the buckets are known (seed
+  /// task), before any interaction lands. Lists/arena/scratch live on the
+  /// Partition so their capacity persists across iterations.
+  void prepare() {
+    if (!batched()) return;
+    const std::size_t nb = partition_.buckets.size();
+    partition_.interaction_lists.resize(nb);
+    for (auto& list : partition_.interaction_lists) list.clear();
+    partition_.interaction_arena.clear();
+    partition_.batch_scratch.resetPools();
+    partition_.batch_scratch.prepareTargets(partition_.buckets,
+                                            partition_.build_epoch);
+    outstanding_.assign(nb, 1u);
+    drained_.assign(nb, 0);
+    sealed_ready_.clear();
+    drain_scheduled_ = false;
+    sealed_early_ = 0;
+    record_seconds_ = overlap_seconds_ = finish_drain_seconds_ = 0.0;
+    evaluator_.emplace(visitor_, partition_.batch_scratch,
+                       partition_.interaction_arena);
   }
 
   /// Source pruned against bucket `t`: consume its summary now (visitor
@@ -110,9 +153,10 @@ class InteractionRecorder {
   void interactNode(const Node<Data>& node, const SpatialNode<Data>& src,
                     SpatialNode<Data>& tgt, std::uint32_t t) {
     pn_count_ += static_cast<std::uint64_t>(tgt.n_particles);
-    if (kernel_ == EvalKernel::kBatched) {
+    if (batched()) {
       if constexpr (recordsNodeInteractions<Visitor>()) {
-        partition_.interaction_lists[t].addNode(node);
+        partition_.interaction_lists[t].addNode(
+            partition_.interaction_arena.intern(node));
       }
     } else {
       visitor_.node(src, tgt);
@@ -125,41 +169,125 @@ class InteractionRecorder {
                     SpatialNode<Data>& tgt, std::uint32_t t) {
     pp_count_ += static_cast<std::uint64_t>(node.n_particles) *
                  static_cast<std::uint64_t>(tgt.n_particles);
-    if (kernel_ == EvalKernel::kBatched) {
-      partition_.interaction_lists[t].addLeaf(node);
+    if (batched()) {
+      partition_.interaction_lists[t].addLeaf(
+          partition_.interaction_arena.intern(node), node.n_particles);
     } else {
       visitor_.leaf(src, tgt);
     }
   }
 
-  /// The deferred phase: drain every bucket's lists through the batched
-  /// evaluator (SoA hooks when the visitor has them, recorded-order
-  /// replay otherwise), then publish the interaction counters. Caller
-  /// holds the run_mutex.
+  /// A pausing walk hands these buckets to a resume continuation; called
+  /// before the pausing unit returns, so the counts never transiently
+  /// reach zero while a branch is still pending.
+  void deferTargets(const TargetList& keep) {
+    if (!batched()) return;
+    for (const std::uint32_t t : keep) ++outstanding_[t];
+  }
+  void deferTarget(std::uint32_t b) {
+    if (!batched()) return;
+    ++outstanding_[b];
+  }
+
+  /// A unit (seed walk or resumed continuation) completed for these
+  /// buckets; buckets whose last unit retires are sealed and scheduled.
+  void retireTargets(const TargetList& done) {
+    if (!batched()) return;
+    for (const std::uint32_t t : done) retireOne(t);
+    maybeScheduleDrain();
+  }
+  void retireTarget(std::uint32_t b) {
+    if (!batched()) return;
+    retireOne(b);
+    maybeScheduleDrain();
+  }
+  void retireAll() {
+    if (!batched()) return;
+    for (std::uint32_t b = 0; b < outstanding_.size(); ++b) retireOne(b);
+    maybeScheduleDrain();
+  }
+
+  /// The post-quiescence phase: drain whatever did not seal early (all
+  /// buckets under BatchDrain::kBarrier), then publish the kernel-phase
+  /// gauges and interaction counters. Caller holds the run_mutex.
   void finish() {
-    if (kernel_ == EvalKernel::kBatched &&
-        !partition_.interaction_lists.empty()) {
+    if (batched() && !partition_.interaction_lists.empty()) {
       rts::ActivityScope scope(instr_.profiler, rts::Activity::kLocalTraversal);
       LoadScope<Data> load(partition_);
       obs::TraceSpan span(instr_.trace, "kernel.batch_eval", "kernel");
-      BatchEvaluator<Data, Visitor> eval(visitor_, partition_.batch_scratch);
-      for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
-        eval.evaluate(partition_.interaction_lists[b],
-                      partition_.buckets[b].view());
-        partition_.interaction_lists[b].clear();
+      WallTimer timer;
+      for (std::uint32_t b = 0; b < drained_.size(); ++b) {
+        if (drained_[b] == 0) drainBucket(b);
       }
-      emitKernelPhases(eval.totals());
+      finish_drain_seconds_ += timer.seconds();
+      emitKernelPhases(evaluator_->totals());
     }
     flushCounters();
   }
 
  private:
+  void retireOne(std::uint32_t b) {
+    assert(outstanding_[b] > 0);
+    if (--outstanding_[b] == 0) sealed_ready_.push_back(b);
+  }
+
+  /// Schedule one drain task on the home process (at most one in flight
+  /// per Partition). Runs at unit-retire time, so the task lands on the
+  /// queue before the enclosing walk task returns — quiescence waits for
+  /// it.
+  void maybeScheduleDrain() {
+    if (drain_ != BatchDrain::kOverlap || drain_scheduled_ ||
+        sealed_ready_.empty()) {
+      return;
+    }
+    drain_scheduled_ = true;
+    rt_.enqueue(partition_.home_proc, [this] { drainSealed(); });
+  }
+
+  /// The overlapped drain task: evaluate every sealed bucket queued so
+  /// far. Uses try_lock + re-enqueue instead of blocking so a worker is
+  /// never parked behind a long walk of the same Partition — the retry
+  /// goes to the back of the queue and other tasks keep flowing.
+  void drainSealed() {
+    std::unique_lock run(partition_.run_mutex, std::try_to_lock);
+    if (!run.owns_lock()) {
+      rt_.enqueue(partition_.home_proc, [this] { drainSealed(); });
+      return;
+    }
+    rts::ActivityScope scope(instr_.profiler, rts::Activity::kLocalTraversal);
+    LoadScope<Data> load(partition_);
+    obs::TraceSpan span(instr_.trace, "kernel.drain_overlap", "kernel");
+    WallTimer timer;
+    while (!sealed_ready_.empty()) {
+      const std::uint32_t b = sealed_ready_.back();
+      sealed_ready_.pop_back();
+      drainBucket(b);
+      ++sealed_early_;
+    }
+    drain_scheduled_ = false;
+    overlap_seconds_ += timer.seconds();
+  }
+
+  void drainBucket(std::uint32_t b) {
+    if (drained_[b] != 0) return;
+    drained_[b] = 1;
+    evaluator_->evaluate(partition_.interaction_lists[b],
+                         partition_.buckets[b].view(), b);
+    partition_.interaction_lists[b].clear();
+  }
+
   void emitKernelPhases(
       const typename BatchEvaluator<Data, Visitor>::Totals& totals) {
     if (instr_.metrics != nullptr) {
       instr_.metrics->gauge("kernel.node_seconds").add(totals.node_seconds);
       instr_.metrics->gauge("kernel.leaf_seconds").add(totals.leaf_seconds);
       instr_.metrics->gauge("kernel.replay_seconds").add(totals.replay_seconds);
+      instr_.metrics->gauge("kernel.record_seconds").add(record_seconds_);
+      instr_.metrics->gauge("kernel.overlap_seconds").add(overlap_seconds_);
+      instr_.metrics->gauge("kernel.finish_drain_seconds")
+          .add(finish_drain_seconds_);
+      instr_.metrics->counter("kernel.sealed_early").add(sealed_early_);
+      instr_.metrics->counter("kernel.sealed_total").add(drained_.size());
     }
     if (instr_.trace != nullptr) {
       // Aggregate per-phase events (one per Partition) so the kernel
@@ -177,6 +305,7 @@ class InteractionRecorder {
       emit("kernel.node_phase", totals.node_seconds);
       emit("kernel.leaf_phase", totals.leaf_seconds);
       emit("kernel.replay_phase", totals.replay_seconds);
+      emit("kernel.record_phase", record_seconds_);
     }
   }
 
@@ -196,9 +325,22 @@ class InteractionRecorder {
   Partition<Data>& partition_;
   Visitor& visitor_;
   EvalKernel kernel_;
+  BatchDrain drain_;
+  rts::Runtime& rt_;
   Instrumentation instr_;
   std::uint64_t pp_count_{0};  ///< particle-particle interactions decided
   std::uint64_t pn_count_{0};  ///< particle-node interactions decided
+
+  // Seal/drain state (all under run_mutex; see class comment).
+  std::vector<std::uint32_t> outstanding_;  ///< per-bucket pending units
+  std::vector<std::uint8_t> drained_;       ///< per-bucket already evaluated
+  std::vector<std::uint32_t> sealed_ready_; ///< sealed, awaiting a drain task
+  bool drain_scheduled_{false};
+  std::uint64_t sealed_early_{0};
+  double record_seconds_{0.0};
+  double overlap_seconds_{0.0};
+  double finish_drain_seconds_{0.0};
+  std::optional<BatchEvaluator<Data, Visitor>> evaluator_;
 };
 
 /// The top-down traverser: starts at the global root and walks depth
@@ -212,11 +354,12 @@ class TopDownTraverser final : public TraverserBase {
                    rts::Runtime& rt, Visitor visitor = {},
                    TraversalStyle style = TraversalStyle::kTransposed,
                    EvalKernel kernel = EvalKernel::kVisitor,
+                   BatchDrain drain = BatchDrain::kOverlap,
                    Instrumentation instr = {})
       : partition_(partition), cache_(cache), rt_(rt),
         visitor_(std::move(visitor)), style_(style), instr_(instr),
         profiler_(instr.profiler),
-        recorder_(partition, visitor_, kernel, instr) {}
+        recorder_(partition, visitor_, kernel, drain, rt, instr) {}
 
   /// Seed the traversal; must run on a worker of the partition's process.
   void start() {
@@ -224,6 +367,7 @@ class TopDownTraverser final : public TraverserBase {
     std::lock_guard run(partition_.run_mutex);
     LoadScope<Data> load(partition_);
     recorder_.prepare();
+    typename Recorder::RecordScope rec(recorder_);
     Node<Data>* root = cache_.root();
     if (style_ == TraversalStyle::kTransposed) {
       TargetList all;
@@ -232,16 +376,21 @@ class TopDownTraverser final : public TraverserBase {
         all.push_back(b);
       }
       dfs(root, all);
+      recorder_.retireAll();
     } else {
       for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
         TargetList one;
         one.push_back(b);
         dfs(root, one);
+        // The bucket seals here unless a pause deferred it — so with the
+        // overlapped drain, earlier buckets evaluate while later buckets
+        // are still walking even on a fully local tree.
+        recorder_.retireTarget(b);
       }
     }
   }
 
-  /// Drain the recorded interaction lists (batched kernel) and flush the
+  /// Drain whatever did not seal early (batched kernel) and flush the
   /// interaction counters. The Forest calls this after quiescence, so
   /// every paused-and-resumed branch has already recorded.
   void finish() override {
@@ -250,6 +399,8 @@ class TopDownTraverser final : public TraverserBase {
   }
 
  private:
+  using Recorder = InteractionRecorder<Data, Visitor>;
+
   void dfs(Node<Data>* node, const TargetList& targets) {
     if (node == nullptr || node->type == NodeType::kEmptyLeaf) return;
     const SpatialNode<Data> src = SpatialNode<Data>::of(*node);
@@ -302,15 +453,20 @@ class TopDownTraverser final : public TraverserBase {
   /// re-evaluated there, which is safe because pruning predicates are
   /// either pure geometry or shrink monotonically (kNN). Moving out of
   /// the depth-scratch slot leaves it valid-empty for the next step.
+  /// The deferred buckets gain an outstanding unit before this walk
+  /// returns and the resume retires them — the seal accounting for the
+  /// overlapped drain.
   void pause(Node<Data>* ph, TargetList keep) {
     const int slot = rts::Runtime::currentWorker();
-    // kPerThread: the data may already sit in this worker's private cache.
+    // kPerThread: the data may already sit in this worker's private cache
+    // (a synchronous continuation of the current unit: no defer/retire).
     if (cache_.options().model == CacheModel::kPerThread) {
       if (Node<Data>* priv = cache_.resolvePrivate(ph, slot)) {
         dfs(priv, keep);
         return;
       }
     }
+    recorder_.deferTargets(keep);
     Node<Data>* parent = ph->parent;
     const Key key = ph->key;
     auto keep_ptr = std::make_shared<TargetList>(std::move(keep));
@@ -329,7 +485,9 @@ class TopDownTraverser final : public TraverserBase {
           rts::ActivityScope scope(profiler_, rts::Activity::kRemoteTraversal);
           std::lock_guard run(partition_.run_mutex);
           LoadScope<Data> load(partition_);
+          typename Recorder::RecordScope rec(recorder_);
           dfs(fresh, *keep_ptr);
+          recorder_.retireTargets(*keep_ptr);
         },
         slot);
   }
@@ -341,7 +499,7 @@ class TopDownTraverser final : public TraverserBase {
   TraversalStyle style_;
   Instrumentation instr_;
   rts::ActivityProfiler* profiler_;
-  InteractionRecorder<Data, Visitor> recorder_;
+  Recorder recorder_;
   std::deque<TargetList> scratch_;  ///< per-depth frontier scratch
 };
 
@@ -363,19 +521,24 @@ class UpAndDownTraverser final : public TraverserBase {
   UpAndDownTraverser(Partition<Data>& partition, CacheManager<Data>& cache,
                      rts::Runtime& rt, Visitor visitor = {},
                      EvalKernel kernel = EvalKernel::kVisitor,
+                     BatchDrain drain = BatchDrain::kOverlap,
                      Instrumentation instr = {})
       : partition_(partition), cache_(cache), rt_(rt),
         visitor_(std::move(visitor)), instr_(instr),
         profiler_(instr.profiler),
-        recorder_(partition, visitor_, kernel, instr) {}
+        recorder_(partition, visitor_, kernel, drain, rt, instr) {}
 
   void start() {
     rts::ActivityScope scope(profiler_, rts::Activity::kLocalTraversal);
     std::lock_guard run(partition_.run_mutex);
     LoadScope<Data> load(partition_);
     recorder_.prepare();
+    typename Recorder::RecordScope rec(recorder_);
     for (std::uint32_t b = 0; b < partition_.buckets.size(); ++b) {
       descend(cache_.root(), b, /*path=*/{});
+      // Any pause along b's walk deferred the bucket before descend
+      // returned, so this retire only seals b once every branch is home.
+      recorder_.retireTarget(b);
     }
   }
 
@@ -385,6 +548,7 @@ class UpAndDownTraverser final : public TraverserBase {
   }
 
  private:
+  using Recorder = InteractionRecorder<Data, Visitor>;
   using Path = SmallVector<Node<Data>*, 24>;
 
   int bitsPerLevel() const { return cache_.options().bits_per_level; }
@@ -395,7 +559,7 @@ class UpAndDownTraverser final : public TraverserBase {
     const Key leaf_key = partition_.buckets[b].leaf_key;
     while (true) {
       if (node->placeholder()) {
-        pauseOn(node, [this, b, path](Node<Data>* fresh) mutable {
+        pauseOn(node, b, [this, b, path](Node<Data>* fresh) mutable {
           descend(fresh, b, std::move(path));
         });
         return;
@@ -447,7 +611,7 @@ class UpAndDownTraverser final : public TraverserBase {
         return;
       case NodeType::kRemote:
       case NodeType::kRemoteLeaf:
-        pauseOn(node, [this, b](Node<Data>* fresh) { dfsSingle(fresh, b); });
+        pauseOn(node, b, [this, b](Node<Data>* fresh) { dfsSingle(fresh, b); });
         return;
       case NodeType::kEmptyLeaf:
         return;
@@ -455,7 +619,10 @@ class UpAndDownTraverser final : public TraverserBase {
   }
 
   /// Shared pause helper: re-locate the fresh node and hand it to `next`.
-  void pauseOn(Node<Data>* ph, std::function<void(Node<Data>*)> next) {
+  /// Defers bucket `b` for the seal accounting; the resumed continuation
+  /// retires it after `next` (which may itself pause and defer again).
+  void pauseOn(Node<Data>* ph, std::uint32_t b,
+               std::function<void(Node<Data>*)> next) {
     const int slot = rts::Runtime::currentWorker();
     if (cache_.options().model == CacheModel::kPerThread) {
       if (Node<Data>* priv = cache_.resolvePrivate(ph, slot)) {
@@ -463,11 +630,12 @@ class UpAndDownTraverser final : public TraverserBase {
         return;
       }
     }
+    recorder_.deferTarget(b);
     Node<Data>* parent = ph->parent;
     const Key key = ph->key;
     cache_.requestThenResume(
         ph,
-        [this, parent, ph, key, slot, next = std::move(next)] {
+        [this, parent, ph, key, slot, b, next = std::move(next)] {
           Node<Data>* fresh = nullptr;
           {
             rts::ActivityScope res(profiler_, rts::Activity::kTraversalResumption);
@@ -480,7 +648,9 @@ class UpAndDownTraverser final : public TraverserBase {
           rts::ActivityScope scope(profiler_, rts::Activity::kRemoteTraversal);
           std::lock_guard run(partition_.run_mutex);
           LoadScope<Data> load(partition_);
+          typename Recorder::RecordScope rec(recorder_);
           next(fresh);
+          recorder_.retireTarget(b);
         },
         slot);
   }
@@ -491,7 +661,7 @@ class UpAndDownTraverser final : public TraverserBase {
   Visitor visitor_;
   Instrumentation instr_;
   rts::ActivityProfiler* profiler_;
-  InteractionRecorder<Data, Visitor> recorder_;
+  Recorder recorder_;
 };
 
 }  // namespace paratreet

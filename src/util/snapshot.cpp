@@ -1,12 +1,18 @@
 #include "util/snapshot.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
+
+#include "decomp/decomposition.hpp"
 
 namespace paratreet {
 
@@ -31,26 +37,70 @@ struct Record {
 
 }  // namespace
 
-void saveSnapshot(const std::string& path, const InitialConditions& ic) {
+namespace {
+
+/// Pack particle `i` of `ic` into the on-disk record shape.
+Record makeRecord(const InitialConditions& ic, std::size_t i) {
+  Record rec{};
+  rec.px = ic.positions[i].x;
+  rec.py = ic.positions[i].y;
+  rec.pz = ic.positions[i].z;
+  if (i < ic.velocities.size()) {
+    rec.vx = ic.velocities[i].x;
+    rec.vy = ic.velocities[i].y;
+    rec.vz = ic.velocities[i].z;
+  }
+  rec.mass = i < ic.masses.size() ? ic.masses[i] : 0.0;
+  rec.radius = i < ic.radii.size() ? ic.radii[i] : 0.0;
+  return rec;
+}
+
+}  // namespace
+
+void saveSnapshot(const std::string& path, const InitialConditions& ic,
+                  ParallelFor* par) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   Header header{kMagic, kVersion, 0, ic.size()};
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  for (std::size_t i = 0; i < ic.size(); ++i) {
-    Record rec{};
-    rec.px = ic.positions[i].x;
-    rec.py = ic.positions[i].y;
-    rec.pz = ic.positions[i].z;
-    if (i < ic.velocities.size()) {
-      rec.vx = ic.velocities[i].x;
-      rec.vy = ic.velocities[i].y;
-      rec.vz = ic.velocities[i].z;
+
+  // Convert in blocks and overlap each block's write with the conversion
+  // of the next: the writer thread streams block k to disk while the main
+  // thread (plus `par`'s workers, when given) packs block k+1 into the
+  // other buffer. 64Ki records per block keeps both buffers at 4 MiB.
+  constexpr std::size_t kBlock = std::size_t{1} << 16;
+  std::vector<Record> bufs[2];
+  std::thread writer;
+  std::atomic<bool> write_failed{false};
+  const std::size_t n = ic.size();
+  for (std::size_t begin = 0, flip = 0; begin < n; begin += kBlock, flip ^= 1) {
+    auto& recs = bufs[flip];
+    recs.resize(std::min(kBlock, n - begin));
+    if (par != nullptr && par->ways() > 1) {
+      const int chunks = par->ways();
+      par->run(chunks, [&](int c) {
+        const auto r = decomp::chunkOf(recs.size(), chunks, c);
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          recs[i] = makeRecord(ic, begin + i);
+        }
+      });
+    } else {
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        recs[i] = makeRecord(ic, begin + i);
+      }
     }
-    rec.mass = i < ic.masses.size() ? ic.masses[i] : 0.0;
-    rec.radius = i < ic.radii.size() ? ic.radii[i] : 0.0;
-    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+    if (writer.joinable()) writer.join();
+    if (write_failed.load()) break;
+    writer = std::thread([&out, &write_failed, &recs] {
+      out.write(reinterpret_cast<const char*>(recs.data()),
+                static_cast<std::streamsize>(recs.size() * sizeof(Record)));
+      if (!out) write_failed.store(true);
+    });
   }
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (writer.joinable()) writer.join();
+  if (write_failed.load() || !out) {
+    throw std::runtime_error("write failed: " + path);
+  }
 }
 
 InitialConditions loadSnapshot(const std::string& path) {

@@ -17,7 +17,15 @@ namespace paratreet {
 /// with the header's particle count (truncated or oversized) and
 /// non-finite (NaN/inf) particle positions are both rejected with errors
 /// naming the offender.
-void saveSnapshot(const std::string& path, const InitialConditions& ic);
+///
+/// saveSnapshot converts in chunks and overlaps each chunk's disk write
+/// with the conversion of the next. `par` (optional) additionally spreads
+/// the record conversion over worker tasks — Driver checkpointing passes
+/// a RuntimeParallelFor over the live ranks; nullptr converts serially
+/// (still overlapped with the writes).
+class ParallelFor;
+void saveSnapshot(const std::string& path, const InitialConditions& ic,
+                  ParallelFor* par = nullptr);
 InitialConditions loadSnapshot(const std::string& path);
 
 /// Strict physics-level validation for simulation inputs: rejects

@@ -13,6 +13,7 @@
 #include "apps/gravity/gravity.hpp"
 #include "apps/sph/knn.hpp"
 #include "apps/sph/sph.hpp"
+#include "core/driver.hpp"
 #include "core/forest.hpp"
 #include "observability/instrumentation.hpp"
 
@@ -202,6 +203,171 @@ TEST(BatchEval, KnnBatchedStaysCorrect) {
                   d[static_cast<std::size_t>(i)].first, 1e-12)
           << "order " << order << " rank " << i;
     }
+  }
+}
+
+void expectBitwiseResults(const std::vector<Particle>& a,
+                          const std::vector<Particle>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&a[i].acceleration, &b[i].acceleration,
+                             sizeof(a[i].acceleration)))
+        << "particle " << i;
+    EXPECT_EQ(0, std::memcmp(&a[i].potential, &b[i].potential,
+                             sizeof(a[i].potential)))
+        << "particle " << i;
+  }
+}
+
+TYPED_TEST(BatchEvalTreeTest, OverlapMatchesBarrierBitwise) {
+  // The overlapped drain evaluates exactly the same per-bucket lists as
+  // the bulk-synchronous barrier drain, and per-bucket evaluation writes
+  // only that bucket's targets — so on a deterministic schedule (one
+  // proc, one worker) the two modes must agree bitwise, on both the
+  // SoA-hook path and the per-pair replay path, for both styles.
+  rts::Runtime rt({1, 1});
+  Configuration overlap = gravConfig();
+  overlap.batch_drain = BatchDrain::kOverlap;
+  Configuration barrier = gravConfig();
+  barrier.batch_drain = BatchDrain::kBarrier;
+  for (const TraversalStyle style :
+       {TraversalStyle::kTransposed, TraversalStyle::kPerBucket}) {
+    expectBitwiseResults(runGravity<TypeParam, GravityVisitor>(
+                             rt, overlap, style, EvalKernel::kBatched),
+                         runGravity<TypeParam, GravityVisitor>(
+                             rt, barrier, style, EvalKernel::kBatched));
+    expectBitwiseResults(runGravity<TypeParam, PlainGravityVisitor>(
+                             rt, overlap, style, EvalKernel::kBatched),
+                         runGravity<TypeParam, PlainGravityVisitor>(
+                             rt, barrier, style, EvalKernel::kBatched));
+  }
+}
+
+TEST(BatchEval, OverlapMatchesBarrierAcrossRemotePauses) {
+  // The single-pause deterministic config: every walk pauses on the
+  // remote subtree and resumes once, so buckets genuinely seal from a
+  // resumed continuation (not just the seed) and drain while the other
+  // rank still walks. Drain mode must still not change a single bit.
+  rts::Runtime rt({2, 1});
+  Configuration overlap = bitwiseConfig();
+  overlap.batch_drain = BatchDrain::kOverlap;
+  Configuration barrier = bitwiseConfig();
+  barrier.batch_drain = BatchDrain::kBarrier;
+  for (const TraversalStyle style :
+       {TraversalStyle::kTransposed, TraversalStyle::kPerBucket}) {
+    expectBitwiseResults(
+        runGravity<KdTreeType, GravityVisitor>(rt, overlap, style,
+                                               EvalKernel::kBatched, {}, 600),
+        runGravity<KdTreeType, GravityVisitor>(rt, barrier, style,
+                                               EvalKernel::kBatched, {}, 600));
+  }
+}
+
+TEST(BatchEval, ConcurrentOverlapDrainIsCorrectAndFullyEager) {
+  // Multi-proc, multi-worker: sealed buckets drain on worker tasks while
+  // other Partitions (and this Partition's paused branches) are still
+  // walking — under TSan this exercises the seal/drain concurrency. On a
+  // fault-free run every bucket must seal and drain eagerly: drain tasks
+  // are enqueued before their scheduling unit retires, so quiescence
+  // waits for them and finish() finds no stragglers.
+  rts::Runtime rt({3, 2});
+  for (const TraversalStyle style :
+       {TraversalStyle::kTransposed, TraversalStyle::kPerBucket}) {
+    Observability ob;
+    const auto batched = runGravity<OctTreeType, GravityVisitor>(
+        rt, gravConfig(), style, EvalKernel::kBatched, ob.handle(), 800);
+    const auto inline_v = runGravity<OctTreeType, GravityVisitor>(
+        rt, gravConfig(), style, EvalKernel::kVisitor, {}, 800);
+    expectCloseResults(inline_v, batched, 1e-9);
+    const auto early = ob.metrics.counter("kernel.sealed_early").value();
+    const auto total = ob.metrics.counter("kernel.sealed_total").value();
+    EXPECT_GT(total, 0u);
+    EXPECT_EQ(early, total);
+  }
+}
+
+TEST(BatchEval, BarrierDrainSealsNothingEarly) {
+  rts::Runtime rt({2, 1});
+  Configuration conf = gravConfig();
+  conf.batch_drain = BatchDrain::kBarrier;
+  Observability ob;
+  runGravity<OctTreeType, GravityVisitor>(
+      rt, conf, TraversalStyle::kTransposed, EvalKernel::kBatched, ob.handle());
+  EXPECT_EQ(ob.metrics.counter("kernel.sealed_early").value(), 0u);
+  EXPECT_GT(ob.metrics.counter("kernel.sealed_total").value(), 0u);
+}
+
+/// Multi-iteration leapfrog gravity on the bitwise-reproducible kd config
+/// (the checkpoint suite's harness) with the batched kernel and the
+/// overlapped drain — so a mid-iteration crash catches drain tasks in
+/// flight.
+class BatchedCheckpointedGravity : public Driver<CentroidData, KdTreeType> {
+ public:
+  Configuration overrides;
+  int traversal_calls = 0;
+
+  void configure(Configuration& conf) override {
+    conf = overrides;
+    conf.tree_type = TreeType::eKd;
+    conf.decomp_type = DecompType::eKd;
+    conf.min_subtrees = 2;
+    conf.min_partitions = 2;
+    conf.bucket_size = 16;
+    conf.fetch_depth = 32;
+    conf.num_iterations = 6;
+    conf.batch_drain = BatchDrain::kOverlap;
+  }
+  void traversal(int) override {
+    ++traversal_calls;
+    startDown<GravityVisitor>({}, TraversalStyle::kTransposed,
+                              EvalKernel::kBatched);
+  }
+  void postTraversal(int) override {
+    forest().forEachParticle([](Particle& p) {
+      p.velocity += p.acceleration * 1e-3;
+      p.position += p.velocity * 1e-3;
+    });
+  }
+};
+
+TEST(BatchEval, OverlapDrainCrashRecoveryMatchesFaultFreeBitwise) {
+  // A rank crash mid-step aborts a traversal with sealed buckets drained
+  // and drain tasks possibly queued; recovery must cancel them cleanly
+  // (they die with the purged queues, like resume closures) and the
+  // re-run from the checkpoint must reproduce the fault-free physics
+  // bitwise — the batched overlapped pipeline adds no recovery state.
+  auto run = [](Configuration overrides) {
+    rts::Runtime rt({2, 1});
+    BatchedCheckpointedGravity app;
+    app.overrides = std::move(overrides);
+    app.run(rt, makeParticles(uniformCube(600, 77)), {});
+    return std::pair{app.forest().collect(), app.traversal_calls};
+  };
+  const auto [clean, clean_calls] = run(Configuration{});
+  Configuration conf;
+  conf.fault.crash_step = 3;
+  conf.fault.crash_rank = 1;
+  conf.fault.crash_after_tasks = 3;
+  conf.fault.drain_deadline_ms = 2000.0;
+  conf.checkpoint_every = 2;
+  conf.recovery_mode = RecoveryMode::kRestart;
+  const auto [crashed, crashed_calls] = run(conf);
+  EXPECT_EQ(clean_calls, 6);
+  EXPECT_GT(crashed_calls, 6);
+  ASSERT_EQ(clean.size(), crashed.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&clean[i].position, &crashed[i].position,
+                             sizeof(clean[i].position)))
+        << "position of particle " << i;
+    EXPECT_EQ(0, std::memcmp(&clean[i].velocity, &crashed[i].velocity,
+                             sizeof(clean[i].velocity)))
+        << "velocity of particle " << i;
+    EXPECT_EQ(0, std::memcmp(&clean[i].acceleration, &crashed[i].acceleration,
+                             sizeof(clean[i].acceleration)))
+        << "acceleration of particle " << i;
+    EXPECT_EQ(0, std::memcmp(&clean[i].potential, &crashed[i].potential,
+                             sizeof(clean[i].potential)))
+        << "potential of particle " << i;
   }
 }
 
