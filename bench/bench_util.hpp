@@ -34,7 +34,9 @@ namespace paratreet::bench {
 /// Flags, by accessor:
 ///   metricsOut()      --metrics-out=<file>        ("-" = stdout)
 ///   chaos()           --chaos-seed=<n> --fault-drop=<p> --fault-corrupt=<p>
-///   checkpointInto()  --checkpoint-every=K --crash-at-step=N
+///   checkpointInto()  --checkpoint-every=K --checkpoint-dir=<path>
+///                     --checkpoint-keep=K --resume --fault-torn-write
+///                     --crash-at-step=N
 ///                     --wedge-at-step=N --recovery-mode=restart|shrink
 ///                     --drain-deadline-ms=T --max-restarts=N
 ///   kernel()          --kernel=visitor|batched
@@ -55,6 +57,22 @@ class ArgParser {
       const std::string_view arg = argv_[i];
       if (arg.substr(0, name.size()) == name) {
         value = std::string(arg.substr(name.size()));
+        found = true;
+      } else {
+        argv_[kept++] = argv_[i];
+      }
+    }
+    argc_ = kept;
+    return found;
+  }
+
+  /// Strip every occurrence of the bare flag `--<name>` (no '=value');
+  /// true when it was present at least once.
+  bool boolFlag(std::string_view name) {
+    bool found = false;
+    int kept = 1;
+    for (int i = 1; i < argc_; ++i) {
+      if (name == argv_[i]) {
         found = true;
       } else {
         argv_[kept++] = argv_[i];
@@ -114,6 +132,24 @@ class ArgParser {
   ///
   ///   --checkpoint-every=K   double in-memory checkpoint after every
   ///                          K-th iteration (0 disables; default off)
+  ///   --checkpoint-dir=<path>
+  ///                          also persist every sealed generation to
+  ///                          disk, crash-consistently (ckpt_<step>/
+  ///                          with MANIFEST + CRCs, tmp-then-rename),
+  ///                          plus the legacy lossy .snap export; the
+  ///                          directory is created when missing
+  ///   --checkpoint-keep=K    on-disk generations retained (default 2);
+  ///                          older ones are garbage-collected
+  ///   --resume               continue a dead job: restore the newest
+  ///                          on-disk generation that passes its CRCs
+  ///                          (falling back past torn/corrupt ones) and
+  ///                          run on from the following step — bitwise
+  ///                          the uninterrupted run. Safe to pass when
+  ///                          the directory is still empty (fresh start)
+  ///   --fault-torn-write     keep the newest on-disk generation torn
+  ///                          (seeded truncation/bit-flip) so a resume
+  ///                          must exercise the older-generation
+  ///                          fallback; see FaultConfig::torn_write
   ///   --crash-at-step=N      kill one seeded rank mid-iteration N; with
   ///                          checkpointing on the run recovers from the
   ///                          newest sealed generation and resumes,
@@ -133,6 +169,21 @@ class ArgParser {
   ///   --drain-deadline-ms=T  watchdog deadline (crash-detection
   ///                          latency); defaults to 30 s when a crash or
   ///                          wedge is scheduled
+  ///   --fetch-depth=D        Configuration::fetch_depth. Relevant here
+  ///                          because bitwise run-to-run reproducibility
+  ///                          (what `--resume` promises, and what CI's
+  ///                          cmp(1) gates check) needs a deterministic
+  ///                          force-summation order: with a shallow
+  ///                          fetch depth, traversals resume in cache-
+  ///                          response ARRIVAL order and accelerations
+  ///                          accumulate with run-varying last-ulp
+  ///                          rounding. A depth that prefetches the
+  ///                          whole tree (e.g. 32) removes mid-
+  ///                          traversal fetches and makes two runs of
+  ///                          the same config byte-identical. Part of
+  ///                          the config compatibility hash, so a
+  ///                          resume under a different depth is
+  ///                          rejected rather than silently diverging
   ///
   /// The crash/wedge victim and its task budget stay seeded (fault.seed,
   /// shared with --chaos-seed), so sweeps over seeds vary where the
@@ -142,6 +193,14 @@ class ArgParser {
     if (flag("--checkpoint-every=", value)) {
       conf.checkpoint_every = std::atoi(value.c_str());
     }
+    if (flag("--checkpoint-dir=", value)) conf.checkpoint_dir = value;
+    if (flag("--checkpoint-keep=", value)) {
+      // Out-of-range values (e.g. 0) are rejected later by
+      // Configuration::validate(), with the field named.
+      conf.checkpoint_keep = std::atoi(value.c_str());
+    }
+    if (boolFlag("--resume")) conf.resume = true;
+    if (boolFlag("--fault-torn-write")) conf.fault.torn_write = true;
     if (flag("--crash-at-step=", value)) {
       conf.fault.crash_step = std::atoi(value.c_str());
     }
@@ -150,6 +209,9 @@ class ArgParser {
     }
     if (flag("--drain-deadline-ms=", value)) {
       conf.fault.drain_deadline_ms = std::strtod(value.c_str(), nullptr);
+    }
+    if (flag("--fetch-depth=", value)) {
+      conf.fetch_depth = std::atoi(value.c_str());
     }
     if (flag("--recovery-mode=", value)) {
       if (!fromString(value, conf.recovery_mode)) {

@@ -4,10 +4,14 @@
 // (kick-drift-kick) and reports energy conservation per step.
 //
 // Usage: gravity_sim [n_particles] [n_steps] [n_procs] [workers]
-//                    [--checkpoint-every=K] [--crash-at-step=N]
+//                    [--checkpoint-every=K] [--checkpoint-dir=<path>]
+//                    [--checkpoint-keep=K] [--resume] [--fault-torn-write]
+//                    [--crash-at-step=N]
 //                    [--wedge-at-step=N] [--heartbeat-ms=T]
 //                    [--recovery-mode=restart|shrink] [--chaos-seed=<n>]
-//                    [--transport=inproc|tcp]
+//                    [--transport=inproc|tcp] [--final-out=<snap>]
+//                    [--fetch-depth=D] [--subtrees=S] [--partitions=P]
+//                    [--bucket-size=B] [--seed=N]
 //
 // --checkpoint-every / --crash-at-step exercise the rank-crash fault
 // tolerance: one seeded rank dies mid-iteration N and, with
@@ -20,9 +24,24 @@
 // a crash, and recovery proceeds through the same checkpoint path.
 // Heartbeats default on (100 ms interval, 3 misses) when a wedge is
 // scheduled; tune with --heartbeat-ms= / --miss-threshold=.
+//
+// --checkpoint-dir / --resume survive whole-job death (README "Cold
+// restart"): every sealed generation is also persisted to disk
+// crash-consistently; kill -9 the entire process tree mid-run, relaunch
+// with the same arguments plus --resume, and the run continues from the
+// newest verifiable generation with bitwise-identical physics.
+// --final-out writes the final particle state as a util/snapshot file,
+// so two runs can be diffed bitwise with cmp(1). For cross-run bitwise
+// comparisons pass --fetch-depth=32 (prefetch the whole tree): at the
+// default shallow depth traversals resume in cache-response arrival
+// order and force sums pick up run-varying last-ulp rounding. Pair it
+// with one remote subtree per rank (--subtrees=2 on 2 procs) so each
+// bucket suspends at most once.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 
 #include "apps/gravity/gravity.hpp"
 #include "bench/bench_util.hpp"
@@ -38,15 +57,23 @@ class GravityMain : public Driver<CentroidData, OctTreeType> {
   GravityParams params{0.7, 1e-3, 1.0, true};
   /// Checkpoint/crash/fault knobs stripped from the CLI in main().
   Configuration cli;
+  /// Tree-shape knobs, CLI-overridable (--subtrees= etc.): cross-run
+  /// bitwise reproducibility needs each bucket's traversal to suspend on
+  /// at most ONE remote fetch (so force terms always add in the same
+  /// order), which takes one remote subtree per rank plus a whole-subtree
+  /// fetch depth — e.g. --subtrees=2 --fetch-depth=32 on 2 procs.
+  int subtrees = 8;
+  int partitions = 16;
+  int bucket = 12;
 
   void configure(Configuration& conf) override {
     conf = cli;
     conf.num_iterations = steps;
     conf.tree_type = TreeType::eOct;
     conf.decomp_type = DecompType::eSfc;
-    conf.min_partitions = 16;
-    conf.min_subtrees = 8;
-    conf.bucket_size = 12;
+    conf.min_partitions = partitions;
+    conf.min_subtrees = subtrees;
+    conf.bucket_size = bucket;
   }
 
   void traversal(int /*iter*/) override {
@@ -73,13 +100,19 @@ class GravityMain : public Driver<CentroidData, OctTreeType> {
       momentum += p.mass * p.velocity;
     }
     const double energy = kinetic + potential;
-    if (iter == 0) initial_energy_ = energy;
+    // A resumed run starts past step 0; its first reported step anchors
+    // the drift column instead (the absolute E stays comparable).
+    if (!have_initial_energy_) {
+      initial_energy_ = energy;
+      have_initial_energy_ = true;
+    }
     std::printf("step %3d  E=%.6f  dE/E0=%+.2e  K=%.4f  W=%.4f  |P|=%.2e\n",
                 iter, energy, (energy - initial_energy_) / std::abs(initial_energy_),
                 kinetic, potential, momentum.length());
   }
 
   double initial_energy_ = 0.0;
+  bool have_initial_energy_ = false;
 };
 
 int main(int argc, char** argv) {
@@ -88,6 +121,18 @@ int main(int argc, char** argv) {
   cli.fault = args.chaos();
   args.checkpointInto(cli);
   cli.transport = args.transport();
+  std::string final_out;
+  args.flag("--final-out=", final_out);
+  std::string shape;
+  int subtrees = 8, partitions = 16, bucket = 12;
+  if (args.flag("--subtrees=", shape)) subtrees = std::atoi(shape.c_str());
+  if (args.flag("--partitions=", shape)) partitions = std::atoi(shape.c_str());
+  if (args.flag("--bucket-size=", shape)) bucket = std::atoi(shape.c_str());
+  // Initial-conditions seed: different seeds give different Plummer
+  // realizations (and different compatibility hashes, so a --resume
+  // against checkpoints from another seed is rejected).
+  std::uint64_t ic_seed = 1;
+  if (args.flag("--seed=", shape)) ic_seed = std::strtoull(shape.c_str(), nullptr, 10);
   if (cli.fault.wedge_step >= 0 && cli.transport.heartbeat_interval_ms <= 0.0) {
     // A wedged rank never EOFs; only heartbeats can notice it. Default
     // them on so the demo recovers instead of riding the 30 s watchdog
@@ -108,6 +153,9 @@ int main(int argc, char** argv) {
   GravityMain app;
   app.steps = steps;
   app.cli = cli;
+  app.subtrees = subtrees;
+  app.partitions = partitions;
+  app.bucket = bucket;
 
   std::printf("Barnes-Hut gravity: %zu particles (Plummer), %d steps, "
               "%d procs x %d workers\n",
@@ -118,6 +166,12 @@ int main(int argc, char** argv) {
   if (cli.checkpoint_every > 0) {
     std::printf("checkpointing every %d step(s), recovery mode: %s\n",
                 cli.checkpoint_every, toString(cli.recovery_mode).c_str());
+  }
+  if (!cli.checkpoint_dir.empty()) {
+    std::printf("durable checkpoints under %s (keep %d)%s%s\n",
+                cli.checkpoint_dir.c_str(), cli.checkpoint_keep,
+                cli.resume ? ", resuming" : "",
+                cli.fault.torn_write ? ", torn-write fault armed" : "");
   }
   if (cli.fault.crash_step >= 0) {
     std::printf("rank crash scheduled at step %d (victim rank %d)\n",
@@ -132,9 +186,28 @@ int main(int argc, char** argv) {
   }
   WallTimer timer;
   // A cold Plummer sphere (zero velocities): it contracts under its own
-  // gravity, converting potential into kinetic energy.
-  app.run(rt, makeParticles(plummer(n, 1, 0.25)));
+  // gravity, converting potential into kinetic energy. A resumed run
+  // regenerates the same ICs — they seed the compatibility hash — but
+  // physics continues from the restored checkpoint, not from them.
+  try {
+    app.run(rt, makeParticles(plummer(n, ic_seed, 0.25)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gravity_sim: %s\n", e.what());
+    return 1;
+  }
   const double elapsed = timer.seconds();
+
+  if (app.resumed()) {
+    std::printf("resumed from on-disk generation step %d", app.resumedFromStep());
+    if (app.resumeGenerationsSkipped() > 0) {
+      std::printf(" (%d newer generation(s) failed verification: %s)",
+                  app.resumeGenerationsSkipped(),
+                  app.resumeDiagnostic().c_str());
+    }
+    std::printf("\n");
+  } else if (cli.resume) {
+    std::printf("resume requested but no generation on disk — started fresh\n");
+  }
 
   const auto& t = app.forest().phaseTimes();
   std::printf("total %.3fs  (decompose %.3fs, build %.3fs, traverse %.3fs)\n",
@@ -153,6 +226,32 @@ int main(int argc, char** argv) {
                    cli.fault.crash_step >= 0 ? "crash" : "wedge");
       return 1;
     }
+  }
+  if (!final_out.empty()) {
+    // Full final state in input order as a util/snapshot: two runs that
+    // agree bitwise produce byte-identical files, so CI diffs them with
+    // cmp(1) to prove resume ≡ uninterrupted.
+    const auto particles = app.forest().collect();
+    InitialConditions ic;
+    ic.positions.resize(particles.size());
+    ic.velocities.resize(particles.size());
+    ic.masses.resize(particles.size());
+    ic.radii.resize(particles.size());
+    for (const auto& p : particles) {
+      const auto i = static_cast<std::size_t>(p.order);
+      if (i >= particles.size()) continue;
+      ic.positions[i] = p.position;
+      ic.velocities[i] = p.velocity;
+      ic.masses[i] = p.mass;
+      ic.radii[i] = p.ball_radius;
+    }
+    try {
+      saveSnapshot(final_out, ic);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--final-out: %s\n", e.what());
+      return 1;
+    }
+    std::printf("final state written to %s\n", final_out.c_str());
   }
   return 0;
 }

@@ -9,7 +9,9 @@
 // Usage: quickstart [n_particles] [n_procs] [workers_per_proc]
 //                    [--metrics-out=<file>] [--chaos-seed=<n>]
 //                    [--fault-drop=<p>] [--decomp-impl=sort|histogram]
-//                    [--transport=inproc|tcp]
+//                    [--transport=inproc|tcp] [--checkpoint-every=K]
+//                    [--checkpoint-dir=<path>] [--checkpoint-keep=K]
+//                    [--resume] [--fault-torn-write]
 //
 // --metrics-out enables the observability layer (metrics registry, trace
 // buffer, activity profiler) and writes its JSON report to <file>
@@ -102,6 +104,12 @@ int main(int argc, char** argv) {
   const rts::FaultConfig fault = args.chaos();
   const DecompImpl decomp_impl = args.decompImpl();
   const rts::TransportConfig transport = args.transport();
+  // The shared checkpoint/resume flags parse here too, so every bundled
+  // binary speaks one CLI; this Forest-direct example doesn't run the
+  // Driver's checkpoint loop, but the values are still validated below
+  // (out-of-range --checkpoint-keep etc. is rejected, not ignored).
+  Configuration ckpt_flags;
+  args.checkpointInto(ckpt_flags);
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10000;
   const int procs = argc > 2 ? std::atoi(argv[2]) : 2;
   const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
@@ -121,6 +129,16 @@ int main(int argc, char** argv) {
   conf.min_subtrees = 2 * procs;
   conf.bucket_size = 12;
   conf.decomp_impl = decomp_impl;
+  conf.fault = fault;
+  conf.checkpoint_every = ckpt_flags.checkpoint_every;
+  conf.checkpoint_dir = ckpt_flags.checkpoint_dir;
+  conf.checkpoint_keep = ckpt_flags.checkpoint_keep;
+  conf.resume = ckpt_flags.resume;
+  conf.fault.torn_write = ckpt_flags.fault.torn_write;
+  if (auto err = conf.validate(); !err.empty()) {
+    std::fprintf(stderr, "quickstart: %s\n", err.c_str());
+    return 2;
+  }
 
   // One Observability bundle owns the profiler + metrics + trace buffer;
   // the library takes a non-owning Instrumentation handle (all-null when

@@ -140,6 +140,14 @@ std::string Configuration::validate() const {
     return bad("checkpoint_every", checkpoint_every,
                "must be >= 0 (0 disables checkpointing)");
   }
+  if (checkpoint_keep < 1) {
+    return bad("checkpoint_keep", checkpoint_keep,
+               "must keep at least one on-disk generation");
+  }
+  if (resume && checkpoint_dir.empty()) {
+    return "Configuration.resume = true: resuming needs a checkpoint_dir "
+           "to scan for durable generations";
+  }
   if (auto err = fault.validate(); !err.empty()) {
     return "Configuration.fault." + err;
   }
@@ -150,6 +158,34 @@ std::string Configuration::validate() const {
     return "Configuration.recovery." + err;
   }
   return {};
+}
+
+std::uint64_t Configuration::compatibilityHash(
+    std::uint64_t particle_count) const {
+  // splitmix64-chain over everything that shapes the restored state or
+  // its deterministic evolution (see the header for what is deliberately
+  // left out). Order matters; append new fields at the end so old
+  // checkpoints only invalidate when a hashed field actually changes.
+  std::uint64_t h = 0x647572616273746full;  // arbitrary non-zero start
+  const auto mix = [&h](std::uint64_t v) {
+    h = rts::detail::splitmix64(h ^ v);
+  };
+  mix(random_seed);
+  mix(static_cast<std::uint64_t>(tree_type));
+  mix(static_cast<std::uint64_t>(decomp_type));
+  mix(static_cast<std::uint64_t>(decomp_impl));
+  mix(static_cast<std::uint64_t>(splitter_probes));
+  mix(static_cast<std::uint64_t>(min_partitions));
+  mix(static_cast<std::uint64_t>(min_subtrees));
+  mix(static_cast<std::uint64_t>(bucket_size));
+  mix(static_cast<std::uint64_t>(fetch_depth));
+  mix(static_cast<std::uint64_t>(share_levels));
+  mix(static_cast<std::uint64_t>(cache_model));
+  mix(static_cast<std::uint64_t>(batch_drain));
+  mix(static_cast<std::uint64_t>(lb_period));
+  mix(static_cast<std::uint64_t>(lb_scheme));
+  mix(particle_count);
+  return h;
 }
 
 }  // namespace paratreet

@@ -164,10 +164,29 @@ struct Configuration {
   /// Budgets around the recovery loop: per-rank restart limits with
   /// backoff, restart → shrink escalation, and a global recovery budget.
   RecoveryPolicy recovery{};
-  /// When non-empty, every sealed checkpoint generation is also written
-  /// to this directory as an ordinary util/snapshot file
-  /// (checkpoint_<step>.snap), loadable later via input_file.
+  /// When non-empty, every sealed checkpoint generation is also persisted
+  /// to this directory (created if missing) in two forms:
+  ///  - `ckpt_<step>/` — the verbatim chunk stream + MANIFEST written
+  ///    crash-consistently (rts::DurableStore): lossless, CRC-verified,
+  ///    and what `resume` restores from after whole-job death;
+  ///  - `checkpoint_<step>.snap` — a legacy util/snapshot export that
+  ///    keeps only position/velocity/mass/radius (drops keys, per-
+  ///    iteration outputs, ...), loadable via input_file but *lossy*.
   std::string checkpoint_dir;
+  /// On-disk generations retained under checkpoint_dir (>= 1): older
+  /// `ckpt_<step>/` directories are garbage-collected as new ones land,
+  /// so at most checkpoint_keep + 1 ever exist (the extra being the one
+  /// mid-rename). Two generations mirror the in-memory double buffer: a
+  /// job killed mid-persist of the newest still resumes from the older.
+  int checkpoint_keep = 2;
+  /// Resume from checkpoint_dir instead of starting over: Driver::run()
+  /// scans for the newest on-disk generation whose manifest and chunk
+  /// CRCs verify (falling back past damaged ones), restores it, and
+  /// continues from the following iteration. Physics is bitwise the
+  /// uninterrupted run's. An empty checkpoint_dir with resume set is
+  /// rejected by validate(); an existing-but-empty directory starts
+  /// fresh (so `--resume` is safe to pass unconditionally).
+  bool resume = false;
 
   /// Bits per tree level implied by tree_type (3 for octrees, 1 for the
   /// binary trees).
@@ -178,6 +197,18 @@ struct Configuration {
   /// Returns an empty string when valid, else a descriptive error naming
   /// the offending field and value. Driver::run() calls this and throws.
   std::string validate() const;
+
+  /// Compatibility stamp written into every durable generation's MANIFEST
+  /// and checked on resume: a hash of every parameter that shapes the
+  /// restored state or its deterministic evolution (seed, tree/decomp
+  /// shape, chare minimums, bucket/fetch/cache choices, load balancing)
+  /// plus the particle count. Deliberately *excluded*: num_iterations
+  /// (extending a run is the point of resuming), transport (inproc and
+  /// tcp are bitwise-equivalent), checkpoint cadence/retention, and the
+  /// fault schedule (resilience must not change physics). Application-
+  /// level parameters (e.g. gravity's theta) are outside Configuration
+  /// and therefore outside the stamp — keep them stable across resumes.
+  std::uint64_t compatibilityHash(std::uint64_t particle_count) const;
 
   /// The tree-consistent decomposition used for Subtrees.
   DecompType subtreeDecomp() const {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -68,6 +69,20 @@ class Driver {
   /// transport runs heartbeats, a watchdog timeout with no crashed rank
   /// waits one heartbeat window before giving up, so a wedged (hung but
   /// alive) rank can be promoted to a crash and recovered normally.
+  ///
+  /// Durable checkpoint/restart (conf.checkpoint_dir / conf.resume):
+  /// with a checkpoint_dir, every sealed generation is also persisted
+  /// crash-consistently on disk (rts::DurableStore: verbatim chunks +
+  /// CRC'd MANIFEST, written to a .tmp directory and atomically renamed,
+  /// newest conf.checkpoint_keep generations retained). A run that died
+  /// whole — OOM-killed, node reboot, kill -9 of the process tree — is
+  /// continued by rerunning with conf.resume: run() restores the newest
+  /// generation that verifies (falling back past torn/corrupt ones; a
+  /// config/dataset-hash mismatch is a hard error) and continues from
+  /// the following iteration, bitwise-equal to the uninterrupted run.
+  /// Resuming still takes the same `particles` (or input_file): the
+  /// initial conditions seed the compatibility hash the manifest is
+  /// checked against, even though the restored state replaces them.
   void run(rts::Runtime& rt, std::vector<Particle> particles,
            Instrumentation instr = {}) {
     Configuration conf;
@@ -103,6 +118,9 @@ class Driver {
     obs::Counter* rec_restart = nullptr;
     obs::Counter* rec_shrink = nullptr;
     obs::Counter* rec_escalated = nullptr;
+    obs::Counter* disk_bytes = nullptr;
+    obs::Gauge* disk_seconds = nullptr;
+    obs::Counter* cold_restarts = nullptr;
     if (instr.metrics != nullptr) {
       // Registered up front so fault-free reports still show the
       // checkpoint/recovery instruments, pinned at zero.
@@ -112,16 +130,62 @@ class Driver {
       rec_restart = &instr.metrics->counter("rts.recoveries.restart");
       rec_shrink = &instr.metrics->counter("rts.recoveries.shrink");
       rec_escalated = &instr.metrics->counter("rts.recoveries.escalated");
+      disk_bytes = &instr.metrics->counter("checkpoint.disk_bytes");
+      disk_seconds = &instr.metrics->gauge("checkpoint.disk_seconds");
+      cold_restarts = &instr.metrics->counter("recovery.cold_restarts");
+    }
+
+    // The durable (on-disk) checkpoint layer: opened before anything is
+    // built so startup hygiene runs — the directory is created when
+    // missing and stale ckpt_*.tmp leftovers of a previous death are
+    // swept — and so a requested resume fails fast on a bad directory.
+    rts::DurableStore disk_store;
+    rts::DurableStore* disk = nullptr;
+    if (!conf.checkpoint_dir.empty()) {
+      rts::DurableStore::Options dopts;
+      dopts.dir = conf.checkpoint_dir;
+      dopts.keep = conf.checkpoint_keep;
+      dopts.config_hash =
+          conf.compatibilityHash(static_cast<std::uint64_t>(particles.size()));
+      dopts.torn_write = conf.fault.torn_write;
+      dopts.torn_seed = conf.fault.seed;
+      dopts.on_torn = [&rt] { rt.noteFault(rts::FaultKind::kTornWrite); };
+      disk_store.open(std::move(dopts));
+      disk = &disk_store;
+    }
+    resumed_from_step_ = rts::CheckpointStore::kNoStep;
+    resume_skipped_ = 0;
+    resume_diagnostic_.clear();
+    std::optional<rts::DurableStore::Recovered> recovered;
+    if (conf.resume && disk != nullptr) {
+      // nullopt = no generation on disk at all: fall through to a fresh
+      // start, so --resume is idempotent on the very first launch too.
+      recovered = disk->loadNewestVerified();
     }
 
     forest_ = std::make_unique<Forest<Data, TreeTypeT>>(rt, conf, instr);
-    forest_->load(std::move(particles));
-    forest_->decompose();
+    if (recovered.has_value()) {
+      forest_->restoreFromChunks(recovered->chunks);
+      resumed_from_step_ = recovered->step;
+      resume_skipped_ = recovered->generations_skipped;
+      resume_diagnostic_ = recovered->diagnostic;
+      if (cold_restarts != nullptr) cold_restarts->add(1);
+    } else {
+      forest_->load(std::move(particles));
+      forest_->decompose();
+    }
     if (ckpt_on) {
-      // Step -1 baseline: the freshly decomposed Subtrees hold the only
-      // per-rank copy, so a crash in the very first iteration recovers
-      // to the initial conditions instead of failing unrecoverably.
-      checkpoint(store, conf, instr, -1, /*from_subtrees=*/true, ckpt_seconds);
+      // Baseline generation: the freshly decomposed Subtrees hold the
+      // only per-rank copy, so a crash in the very first iteration
+      // recovers to the starting state instead of failing unrecoverably.
+      // Fresh runs baseline at step -1 and persist it; resumed runs
+      // re-seed the in-memory store at the restored step but skip the
+      // disk write — that generation already exists on disk, and
+      // re-persisting it would garbage-collect its older sibling.
+      const int base = recovered.has_value() ? recovered->step : -1;
+      checkpoint(store, conf, instr, base, /*from_subtrees=*/true,
+                 ckpt_seconds, recovered.has_value() ? nullptr : disk,
+                 disk_bytes, disk_seconds);
     }
 
     // A scheduled crash/wedge fires exactly once, even though recovery
@@ -132,7 +196,7 @@ class Driver {
     // global budget, and per-rank restart counts for escalation.
     int recoveries_done = 0;
     std::map<int, int> restarts_per_rank;
-    int iter = 0;
+    int iter = recovered.has_value() ? recovered->step + 1 : 0;
     while (iter < conf.num_iterations) {
       try {
         if (!crash_armed && conf.fault.crash_step >= 0 &&
@@ -171,7 +235,7 @@ class Driver {
         if (ckpt_on && (iter + 1) % conf.checkpoint_every == 0 &&
             iter + 1 < conf.num_iterations) {
           checkpoint(store, conf, instr, iter, /*from_subtrees=*/false,
-                     ckpt_seconds);
+                     ckpt_seconds, disk, disk_bytes, disk_seconds);
         }
         if (iter + 1 < conf.num_iterations) forest_->flush();
         ++iter;
@@ -269,6 +333,19 @@ class Driver {
   Forest<Data, TreeTypeT>& forest() { return *forest_; }
   const Forest<Data, TreeTypeT>& forest() const { return *forest_; }
 
+  /// Did the last run() restore an on-disk generation (conf.resume)?
+  bool resumed() const {
+    return resumed_from_step_ != rts::CheckpointStore::kNoStep;
+  }
+  /// The restored generation's step (then run() continued at step + 1),
+  /// or rts::CheckpointStore::kNoStep when the run started fresh.
+  int resumedFromStep() const { return resumed_from_step_; }
+  /// Newer on-disk generations that failed verification and were fallen
+  /// back past during the resume (0 when the newest verified).
+  int resumeGenerationsSkipped() const { return resume_skipped_; }
+  /// Why those generations were rejected (empty when none were).
+  const std::string& resumeDiagnostic() const { return resume_diagnostic_; }
+
  protected:
   /// Start a top-down traversal over all Partitions (paper:
   /// partitions().startDown<Visitor>()). `kernel` selects inline visitor
@@ -291,31 +368,51 @@ class Driver {
   /// One checkpoint generation: gather + commit on every live rank,
   /// drain out the buddy copies, seal. A crash mid-checkpoint throws out
   /// of checkpointTo()'s drain before seal() — the half-written
-  /// generation is then ignored by recovery.
+  /// generation is then ignored by recovery. With `disk` set, the sealed
+  /// generation is then persisted crash-consistently (verbatim chunks +
+  /// manifest, tmp-then-rename) and the legacy lossy .snap export rides
+  /// along.
   void checkpoint(rts::CheckpointStore& store, const Configuration& conf,
                   const Instrumentation& instr, int step, bool from_subtrees,
-                  obs::Gauge* seconds) {
+                  obs::Gauge* seconds, rts::DurableStore* disk,
+                  obs::Counter* disk_bytes, obs::Gauge* disk_seconds) {
     obs::TraceSpan span(instr.trace, "checkpoint", "driver");
     WallTimer timer;
     forest_->checkpointTo(store, step, from_subtrees);
     store.seal(step);
-    if (!conf.checkpoint_dir.empty()) {
+    if (disk != nullptr) {
+      obs::TraceSpan persist_span(instr.trace, "checkpoint.persist",
+                                  "driver");
+      WallTimer disk_timer;
+      const auto chunks = store.assemble(step);
+      const std::uint64_t bytes = disk->persist(
+          step, chunks,
+          static_cast<std::uint64_t>(forest_->particleCount()));
       // Convert on the worker runtime, overlapped with the disk writes
       // (saveSnapshot's chunked double-buffering).
-      RuntimeParallelFor par(forest_->runtime(), forest_->runtime().liveProcs());
-      writeCheckpointSnapshot(store, conf.checkpoint_dir, step, &par);
+      RuntimeParallelFor par(forest_->runtime(),
+                             forest_->runtime().liveProcs());
+      writeCheckpointSnapshot(chunks, conf.checkpoint_dir, step, &par);
+      if (disk_bytes != nullptr) disk_bytes->add(bytes);
+      if (disk_seconds != nullptr) disk_seconds->add(disk_timer.seconds());
     }
     if (seconds != nullptr) seconds->add(timer.seconds());
   }
 
-  /// Optional on-disk variant: assemble the sealed generation and write
-  /// it as an ordinary util/snapshot file (checkpoint_<step>.snap),
-  /// loadable later through conf.input_file.
-  static void writeCheckpointSnapshot(const rts::CheckpointStore& store,
-                                      const std::string& dir, int step,
-                                      ParallelFor* par = nullptr) {
+  /// Legacy on-disk export: write an assembled generation as an ordinary
+  /// util/snapshot file (checkpoint_<step>.snap), loadable later through
+  /// conf.input_file. Unlike the ckpt_<step>/ generation directories
+  /// this form is *lossy* — only position/velocity/mass/radius survive
+  /// (keys, per-iteration outputs and identity beyond input order are
+  /// dropped) — so `resume` never reads it; it exists for external
+  /// tooling that speaks the snapshot format. saveSnapshot itself writes
+  /// tmp-then-rename, so a death mid-export can't leave a truncated file
+  /// at the loadable name.
+  static void writeCheckpointSnapshot(
+      const std::vector<std::vector<std::byte>>& chunks,
+      const std::string& dir, int step, ParallelFor* par = nullptr) {
     std::vector<Particle> all;
-    for (const auto& chunk : store.assemble(step)) {
+    for (const auto& chunk : chunks) {
       auto decoded = deserializeCheckpointChunk(chunk);
       all.insert(all.end(), decoded.second.begin(), decoded.second.end());
     }
@@ -337,6 +434,9 @@ class Driver {
   }
 
   std::unique_ptr<Forest<Data, TreeTypeT>> forest_;
+  int resumed_from_step_ = rts::CheckpointStore::kNoStep;
+  int resume_skipped_ = 0;
+  std::string resume_diagnostic_;
 };
 
 }  // namespace paratreet

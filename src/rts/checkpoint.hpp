@@ -3,10 +3,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -121,6 +123,109 @@ class CheckpointStore {
   obs::Counter* bytes_metric_ = nullptr;
   std::atomic<std::uint64_t> bytes_stored_{0};
   std::atomic<std::uint64_t> commits_{0};
+};
+
+/// Disk-based complement of the in-memory double checkpoint (the other
+/// half of the Charm++ lineage: Zheng/Kalé's on-disk checkpoint/restart).
+/// In-memory buddy copies survive *rank* deaths; this survives *job*
+/// death — OOM-killed parent, node reboot, container preemption — by
+/// persisting each sealed generation verbatim to a generation directory:
+///
+///   <dir>/ckpt_<step>/chunks.bin   the per-rank serialized chunks, byte
+///                                  for byte what CheckpointStore holds
+///                                  (CheckpointChunkHeader + CRC intact)
+///   <dir>/ckpt_<step>/MANIFEST     step, chunk count/offsets/CRCs, a
+///                                  whole-file CRC, particle count, and a
+///                                  config/dataset compatibility hash,
+///                                  ending in a self-CRC
+///
+/// Crash consistency: everything is written into `ckpt_<step>.tmp/`,
+/// fsync'd (each file, then the directory), and atomically rename()d to
+/// `ckpt_<step>/`, then the parent directory is fsync'd — so a generation
+/// is either fully present or invisible, never half-written at its final
+/// name. The newest `keep` generations are retained; older ones and stale
+/// `.tmp` leftovers from a previous death are garbage-collected, so at
+/// most keep+1 generation directories ever exist (keep finals plus the
+/// one being renamed in).
+///
+/// Like CheckpointStore the store is byte-generic: chunks are opaque.
+/// Verification at load time is purely structural (CRCs + manifest
+/// cross-checks); decoding stays with core/serialization.hpp.
+class DurableStore {
+ public:
+  struct Options {
+    /// Root directory for generation directories; created (with parents)
+    /// by open() when missing.
+    std::string dir;
+    /// Sealed generations retained on disk (>= 1).
+    int keep = 2;
+    /// Config/dataset compatibility stamp (Configuration hash + particle
+    /// count). A mismatch at load time is a *hard* error — resuming a
+    /// checkpoint into a differently-shaped run would silently compute
+    /// garbage — unlike CRC damage, which falls back a generation.
+    std::uint64_t config_hash = 0;
+    /// FaultKind::kTornWrite: keep the newest generation deterministically
+    /// torn (see FaultConfig::torn_write), repairing it when a newer one
+    /// lands. Tear choice derives from (torn_seed, step).
+    bool torn_write = false;
+    std::uint64_t torn_seed = 0;
+    /// Called once per injected tear so the runtime's fault counters stay
+    /// authoritative (rts.faults_injected.torn_write).
+    std::function<void()> on_torn;
+  };
+
+  /// A verified on-disk generation, ready for Forest::restoreFromChunks.
+  struct Recovered {
+    int step = CheckpointStore::kNoStep;
+    std::vector<std::vector<std::byte>> chunks;
+    std::uint64_t particle_count = 0;
+    /// Newer generations that existed but failed verification (each one
+    /// fell back past); their failure reasons are in `diagnostic`.
+    int generations_skipped = 0;
+    std::string diagnostic;
+  };
+
+  /// Bind the options, create `dir` (and parents) when missing, and
+  /// remove stale `ckpt_*.tmp` directories left by a previous death.
+  void open(Options opts);
+
+  /// Persist one sealed generation crash-consistently (write tmp → fsync
+  /// files → fsync tmp dir → rename → fsync parent), then GC down to the
+  /// newest `keep` generations. An existing `ckpt_<step>/` is replaced
+  /// (recovery can rewind and re-persist a step). Returns the bytes
+  /// written (chunks + manifest). Throws std::runtime_error on IO errors.
+  std::uint64_t persist(int step,
+                        const std::vector<std::vector<std::byte>>& chunks,
+                        std::uint64_t particle_count);
+
+  /// Scan for generations, newest first, and return the newest whose
+  /// manifest and chunk CRCs all verify — falling back generation by
+  /// generation past damaged ones (each recorded in the result's
+  /// diagnostic). Returns nullopt when no generation directory exists at
+  /// all (fresh start). Throws std::runtime_error when generations exist
+  /// but none verifies (the diagnostic names every one and why), and on
+  /// a config-hash mismatch (wrong dataset/config — never restorable).
+  std::optional<Recovered> loadNewestVerified() const;
+
+  /// Steps of the complete (renamed-in) generations on disk, ascending.
+  std::vector<int> generationSteps() const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  std::string genDir(int step) const;
+  void gcOldGenerations();
+  /// FaultKind::kTornWrite: tear the just-persisted generation after
+  /// repairing the previously torn one (intact bytes kept in memory).
+  void tearNewestRepairOlder(int step);
+
+  Options opts_;
+  bool opened_ = false;
+  /// Torn-write bookkeeping: the currently-torn step and the intact file
+  /// bytes to restore once a newer generation supersedes it.
+  int torn_step_ = CheckpointStore::kNoStep;
+  std::vector<std::byte> torn_chunks_backup_;
+  std::vector<std::byte> torn_manifest_backup_;
 };
 
 }  // namespace paratreet::rts

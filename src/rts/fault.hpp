@@ -24,11 +24,12 @@ enum class FaultKind : int {
   kCrash,      ///< a whole logical rank dies mid-step (node failure)
   kWedge,      ///< a rank hangs alive (SIGSTOP / deadlock), no EOF ever
   kCorrupt,    ///< a frame's payload bits flip in flight (CRC catches it)
+  kTornWrite,  ///< a durable checkpoint generation torn mid-persist
 };
-inline constexpr std::size_t kNumFaultKinds = 9;
+inline constexpr std::size_t kNumFaultKinds = 10;
 inline constexpr std::array<const char*, kNumFaultKinds> kFaultKindNames = {
     "drop",  "duplicate", "delay", "reorder", "fetch_fail",
-    "stall", "crash",     "wedge", "corrupt"};
+    "stall", "crash",     "wedge", "corrupt", "torn_write"};
 
 namespace detail {
 
@@ -136,6 +137,18 @@ struct FaultConfig {
     if (wedge_after_tasks >= 0) return wedge_after_tasks;
     return 1 + static_cast<int>(detail::splitmix64(seed ^ 0x4a9eull) % 48u);
   }
+
+  // --- torn durable write (whole-job death mid-persist) --------------------
+  /// When true, the durable checkpoint layer (rts::DurableStore) keeps the
+  /// *newest* on-disk generation deterministically torn — truncated or
+  /// bit-flipped, derived from (seed, step) — and only repairs it once a
+  /// newer generation lands. This models the job dying mid-persist with
+  /// the tail of the write stream lost: whatever moment the job actually
+  /// dies at, `--resume` finds a damaged newest generation, the manifest
+  /// CRCs reject it, and restore must fall back to the previous sealed
+  /// generation. Armed explicitly like crash_step; works even with
+  /// `enabled == false`.
+  bool torn_write = false;
 
   // --- watchdog ------------------------------------------------------------
   /// When > 0, Runtime::drain() throws QuiescenceTimeout with a full

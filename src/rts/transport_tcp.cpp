@@ -14,6 +14,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -62,6 +63,29 @@ void setNonBlocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/// Loopback TCP defaults can livelock this transport: the kernel derives
+/// a ~64 KiB MSS from the loopback MTU, and when a retransmission burst
+/// briefly outpaces a rank's relay, receive-buffer auto-tuning (its
+/// read-interval estimate poisoned by the relay's blocking read loop)
+/// clamps the advertised window BELOW one MSS. Sender-side silly-window
+/// avoidance then refuses to cut a sub-MSS segment from the megabytes
+/// queued, and the connection decays to one persist-probe's worth of
+/// data per exponentially backed-off probe (~14 KiB per 26-107 s) — the
+/// drain watchdog fires long before such a queue could empty. Two knobs
+/// make that regime unreachable: explicit buffer sizes (locking them
+/// disables the auto-tuning clamp) and an MSS cap small enough that the
+/// window always holds several segments. Async-signal-safe (raw
+/// setsockopt), so rank processes may call it post-fork. Best-effort:
+/// the kernel clamps the buffer request to its rmem/wmem ceiling, and
+/// even the clamped floor (~208 KiB) holds 12+ capped segments.
+void tuneSocketForBursts(int fd) {
+  const int kBufBytes = 4 << 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kBufBytes, sizeof(kBufBytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kBufBytes, sizeof(kBufBytes));
+  const int kMaxSeg = 16 * 1024;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_MAXSEG, &kMaxSeg, sizeof(kMaxSeg));
+}
+
 /// The rank process. Forked from a (possibly already multithreaded)
 /// parent, so everything here must be async-signal-safe: raw syscalls, a
 /// stack buffer, no allocation, no stdio, no exceptions — protocol
@@ -76,6 +100,9 @@ void setNonBlocking(int fd) {
   for (std::size_t i = 0; i < n_inherited; ++i) ::close(inherited_fds[i]);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) ::_exit(40);
+  // Before connect(): the SYN must advertise the capped MSS, and the
+  // explicit buffer sizes must be locked in before auto-tuning starts.
+  tuneSocketForBursts(fd);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     ::_exit(41);
@@ -158,6 +185,9 @@ void TcpTransport::start(Runtime& rt) {
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // Accepted sockets inherit these, so the SYN-ACK advertises the capped
+  // MSS and the parent side's buffers are locked from the handshake on.
+  tuneSocketForBursts(listen_fd_);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
@@ -697,10 +727,32 @@ std::string TcpTransport::describe() const {
   std::lock_guard lock(mutex_);
   int up = 0;
   for (const auto& ep : endpoints_) up += ep.up ? 1 : 0;
-  return "tcp(port=" + std::to_string(bound_port_) + ", ranks up " +
-         std::to_string(up) + "/" + std::to_string(endpoints_.size()) +
-         ", frames in flight " + std::to_string(inflight_.size()) +
-         ", corrupt nacks " + std::to_string(framesCorrupt()) + ")";
+  std::string out = "tcp(port=" + std::to_string(bound_port_) +
+                    ", ranks up " + std::to_string(up) + "/" +
+                    std::to_string(endpoints_.size()) +
+                    ", frames in flight " + std::to_string(inflight_.size()) +
+                    ", corrupt nacks " + std::to_string(framesCorrupt()) + ")";
+  if (!inflight_.empty()) {
+    // Break the stuck frames down by destination, kind and queue depth:
+    // when the drain watchdog prints this, "which rank, which traffic"
+    // is the whole diagnosis.
+    std::map<std::pair<int, int>, std::size_t> by_to_kind;
+    for (const auto& [seq, f] : inflight_) {
+      ++by_to_kind[{f.msg.to, static_cast<int>(f.msg.kind)}];
+    }
+    for (const auto& [key, n] : by_to_kind) {
+      out += "\n  in flight to rank " + std::to_string(key.first) + " kind " +
+             std::to_string(key.second) + ": " + std::to_string(n) +
+             " frame(s), txq depth " +
+             std::to_string(
+                 key.first >= 0 &&
+                         key.first < static_cast<int>(endpoints_.size())
+                     ? endpoints_[static_cast<std::size_t>(key.first)]
+                           .txq.size()
+                     : 0);
+    }
+  }
+  return out;
 }
 
 }  // namespace paratreet::rts

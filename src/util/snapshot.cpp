@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -59,8 +60,12 @@ Record makeRecord(const InitialConditions& ic, std::size_t i) {
 
 void saveSnapshot(const std::string& path, const InitialConditions& ic,
                   ParallelFor* par) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  // Write-to-tmp + rename: a crash mid-write must never leave a
+  // truncated file at the final, loadable name (the checkpoint .snap
+  // exports depend on this). The rename at the end is atomic on POSIX.
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
   Header header{kMagic, kVersion, 0, ic.size()};
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
 
@@ -99,7 +104,18 @@ void saveSnapshot(const std::string& path, const InitialConditions& ic,
   }
   if (writer.joinable()) writer.join();
   if (write_failed.load() || !out) {
-    throw std::runtime_error("write failed: " + path);
+    out.close();
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write failed: " + tmp);
+  }
+  out.close();
+  if (!out) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " into place");
   }
 }
 
